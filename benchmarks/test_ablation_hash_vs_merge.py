@@ -1,0 +1,50 @@
+"""Ablation: the Section 5.1.3 hash-join vs merge-join CPU cost analysis.
+
+Sweeps relation sizes through the cost model and reports where the
+planner's preference crosses over.  The paper's analysis: as relations
+grow, merge join's sort terms (n log n) outweigh hash join's constant
+per-tuple work, so hash join wins for large unsorted inputs; with sorts
+removed (pre-sorted inputs) merge join always wins the merge-phase-only
+comparison.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.cost.model import CostModel
+
+
+def hash_vs_merge(model: CostModel, rows: float):
+    """(hash cpu, merge-with-sorts cpu, merge-phase-only cpu) at |A|=|B|."""
+    hash_cost = model.hash_join(rows, rows, right_width=8).cpu
+    merge_phase = model.merge_join(rows, rows).cpu
+    sorts = 2 * model.sort(rows, 8).cpu
+    return hash_cost, merge_phase + sorts, merge_phase
+
+
+def test_ablation_hash_vs_merge(benchmark, capsys):
+    model = CostModel(SystemConfig.ic_plus())
+    lines = ["", "Ablation: hash join vs merge join CPU cost (Section 5.1.3)"]
+    lines.append("rows      hash        merge+sorts  merge-only  winner(unsorted)")
+    crossover = None
+    for rows in (10, 100, 1_000, 10_000, 100_000, 1_000_000):
+        h, m_sorts, m_only = hash_vs_merge(model, float(rows))
+        winner = "hash" if h < m_sorts else "merge"
+        if winner == "hash" and crossover is None:
+            crossover = rows
+        lines.append(
+            f"{rows:<9} {h:>11.0f} {m_sorts:>12.0f} {m_only:>11.0f}  {winner}"
+        )
+    lines.append(f"crossover at ~{crossover} rows")
+    with capsys.disabled():
+        print("\n".join(lines))
+
+    # Shape assertions from the paper's analysis.
+    big_h, big_m_sorts, big_m_only = hash_vs_merge(model, 1_000_000.0)
+    assert big_h < big_m_sorts, "hash join must win for large unsorted inputs"
+    assert big_m_only < big_h, (
+        "with both sorts removed, merge join always beats hash join"
+    )
+    assert crossover is not None
+
+    benchmark(lambda: [hash_vs_merge(model, float(r)) for r in range(100, 2000, 100)])

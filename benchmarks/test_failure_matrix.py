@@ -1,0 +1,53 @@
+"""The Section 1 / Section 6 failure matrix.
+
+"Of the 22 TPC-H queries, eight failed to execute using a standard
+deployment": Q15 (SQL VIEWs unsupported), Q20 (planner exception),
+Q17/Q19/Q21 (nested-loop plans past the runtime limit), Q2/Q5/Q9 (no
+execution plan generated).  IC+ completes every enabled query — the paper
+reports all six baseline casualties finishing in under a minute.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tpch import QUERIES, load_tpch_cluster
+from repro.common.config import SystemConfig
+from repro.core.cluster import QueryStatus
+
+EXPECTED_IC = {
+    2: QueryStatus.PLANNING_FAILED,
+    5: QueryStatus.PLANNING_FAILED,
+    9: QueryStatus.PLANNING_FAILED,
+    15: QueryStatus.UNSUPPORTED,
+    17: QueryStatus.TIMEOUT,
+    19: QueryStatus.TIMEOUT,
+    20: QueryStatus.PLANNER_DEFECT,
+    21: QueryStatus.TIMEOUT,
+}
+
+
+def test_failure_matrix(benchmark, scale_factors, capsys):
+    # The Q17/Q19/Q21 nested-loop timeouts need enough data to blow the
+    # runtime limit; the paper's smallest scale factor is 0.5.
+    sf = max(0.5, min(scale_factors))
+    ic = load_tpch_cluster(SystemConfig.ic(4), sf)
+    ic_plus = load_tpch_cluster(SystemConfig.ic_plus(4), sf)
+
+    lines = ["", "Baseline failure matrix (Section 1 / Section 6)"]
+    lines.append("query  IC                IC+")
+    for qid in sorted(QUERIES):
+        a = ic.try_sql(QUERIES[qid].sql)
+        b = ic_plus.try_sql(QUERIES[qid].sql)
+        lines.append(f"Q{qid:<5} {a.status.value:<17} {b.status.value}")
+        if qid in EXPECTED_IC:
+            assert a.status is EXPECTED_IC[qid], (qid, a.status)
+        else:
+            assert a.ok, (qid, a.status, a.error)
+        if qid in (15, 20):
+            # Disabled on every system variant.
+            assert not b.ok
+        else:
+            assert b.ok, (qid, b.status, b.error)
+    with capsys.disabled():
+        print("\n".join(lines))
+
+    benchmark(lambda: ic_plus.try_sql(QUERIES[2].sql))

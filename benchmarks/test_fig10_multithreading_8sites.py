@@ -1,0 +1,43 @@
+"""Figure 10: multithreading incremental difference, IC+ vs IC+M (8 sites).
+
+Same comparison as Figure 9 on the larger cluster.  With more sites each
+partition is smaller, so fixed variant overheads weigh more and fewer
+queries benefit — the paper notes Q4 flips to a decrease on eight sites.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tpch import ENABLED_QUERY_IDS, QUERIES, load_tpch_cluster
+from repro.common.config import SystemConfig
+
+from test_fig9_multithreading_4sites import (
+    QUERY_NAMES,
+    check_multithreading_shape,
+    multithreading_changes,
+)
+
+SITES = 8
+
+
+def test_fig10_multithreading_8sites(
+    benchmark, tpch_matrix, scale_factors, site_counts, capsys
+):
+    if SITES not in site_counts:
+        import pytest
+
+        pytest.skip("8-site matrix disabled via REPRO_BENCH_SITES")
+    changes = multithreading_changes(tpch_matrix, scale_factors, SITES)
+    lines = ["", f"Figure 10: IC+ vs IC+M incremental change ({SITES} sites)"]
+    for name in QUERY_NAMES:
+        change = changes[name]
+        cell = "   n/a" if change is None else f"{change:+6.1f}%"
+        lines.append(f"{name:<6} {cell}")
+    with capsys.disabled():
+        print("\n".join(lines))
+
+    check_multithreading_shape(changes)
+
+    cluster = load_tpch_cluster(
+        SystemConfig.ic_plus_m(SITES), min(scale_factors)
+    )
+    benchmark(lambda: cluster.sql(QUERIES[6].sql))

@@ -1,0 +1,5 @@
+"""Shim so `python setup.py develop` works in offline environments
+without the `wheel` package (pip's editable build needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

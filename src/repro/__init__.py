@@ -1,0 +1,28 @@
+"""repro: a reproduction of "Apache Ignite + Calcite Composable Database
+System: Experimental Evaluation and Analysis" (EDBT 2025).
+
+The package rebuilds the paper's whole composable stack in Python — a
+Calcite-style SQL front end and two-stage query planner, an Ignite-style
+partitioned in-memory store and distributed execution engine, and a
+deterministic simulated cluster — exposing the three evaluated system
+variants (IC, IC+, IC+M) behind one facade:
+
+>>> from repro import IgniteCalciteCluster
+>>> cluster = IgniteCalciteCluster.ic_plus(sites=4)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.common.config import SystemConfig
+from repro.core.cluster import IgniteCalciteCluster, QueryOutcome, QueryStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IgniteCalciteCluster",
+    "QueryOutcome",
+    "QueryStatus",
+    "SystemConfig",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Benchmarks: TPC-H, SSB, and the response-time / AQL harness."""
+
+from repro.bench.harness import (
+    AqlResult,
+    QueryMeasurement,
+    ResponseTimeHarness,
+    ResponseTimeResult,
+    confidence_interval_95,
+    run_aql,
+)
+
+__all__ = [
+    "AqlResult",
+    "QueryMeasurement",
+    "ResponseTimeHarness",
+    "ResponseTimeResult",
+    "confidence_interval_95",
+    "run_aql",
+]

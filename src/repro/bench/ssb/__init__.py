@@ -1,0 +1,44 @@
+"""Star Schema Benchmark: schemas, mini generator, 13 queries, loader."""
+
+from functools import lru_cache
+
+from repro.bench.ssb.datagen import (
+    SSB_INDEXES,
+    generate_ssb,
+    ssb_schemas,
+    table_cardinalities,
+)
+from repro.bench.ssb.queries import FIGURE11_QUERY_IDS, SSB_QUERIES, SsbQuerySpec
+from repro.common.config import SystemConfig
+from repro.core.cluster import IgniteCalciteCluster
+
+
+@lru_cache(maxsize=4)
+def cached_ssb_data(scale_factor: float, seed: int = 11):
+    return generate_ssb(scale_factor, seed)
+
+
+def load_ssb_cluster(
+    config: SystemConfig, scale_factor: float, seed: int = 11
+) -> IgniteCalciteCluster:
+    """A cluster with the SSB schema, data and the paper's nine indexes."""
+    cluster = IgniteCalciteCluster(config)
+    data = cached_ssb_data(scale_factor, seed)
+    for name, schema in ssb_schemas().items():
+        cluster.create_table(schema, data[name])
+    for table, index_name, columns in SSB_INDEXES:
+        cluster.create_index(table, index_name, columns)
+    return cluster
+
+
+__all__ = [
+    "FIGURE11_QUERY_IDS",
+    "SSB_INDEXES",
+    "SSB_QUERIES",
+    "SsbQuerySpec",
+    "cached_ssb_data",
+    "generate_ssb",
+    "load_ssb_cluster",
+    "ssb_schemas",
+    "table_cardinalities",
+]

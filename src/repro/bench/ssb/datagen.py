@@ -1,0 +1,243 @@
+"""Deterministic scaled-down Star Schema Benchmark generator.
+
+SSB denormalises TPC-H into one LINEORDER fact table plus four dimensions
+(DATE, CUSTOMER, SUPPLIER, PART).  Row counts are ~1/100 of the official
+dbgen, keeping the fact-to-dimension ratios that make the star-join
+behaviour (and the paper's Figure 11 effects) representative:
+
+    SF 1 (mini): lineorder ~60k, customer 300, supplier 20, part ~2k,
+                 date 2556 (fixed: 7 years of days).
+
+LINEORDER is hash-partitioned on its order key; dimensions are partitioned
+on their keys except DATE, which is replicated (it is tiny and joins with
+every query).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Tuple
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import ColumnType
+
+I = ColumnType.INTEGER
+D = ColumnType.DOUBLE
+S = ColumnType.VARCHAR
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS_PER_REGION = {
+    "AFRICA": ["ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"],
+    "AMERICA": ["ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"],
+    "ASIA": ["CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"],
+    "EUROPE": ["FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"],
+    "MIDDLE EAST": ["EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"],
+}
+MFGRS = ["MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+COLORS = [
+    "almond", "azure", "beige", "black", "blue", "brown", "coral", "cream",
+    "cyan", "forest", "ghost", "green", "indian", "ivory", "khaki",
+]
+
+
+def ssb_schemas() -> Dict[str, TableSchema]:
+    return {
+        "date_dim": TableSchema(
+            "date_dim",
+            [
+                Column("d_datekey", I), Column("d_date", S),
+                Column("d_dayofweek", S), Column("d_month", S),
+                Column("d_year", I), Column("d_yearmonthnum", I),
+                Column("d_yearmonth", S), Column("d_weeknuminyear", I),
+            ],
+            ["d_datekey"],
+            replicated=True,
+        ),
+        "customer": TableSchema(
+            "customer",
+            [
+                Column("c_custkey", I), Column("c_name", S),
+                Column("c_address", S), Column("c_city", S),
+                Column("c_nation", S), Column("c_region", S),
+                Column("c_phone", S), Column("c_mktsegment", S),
+            ],
+            ["c_custkey"],
+        ),
+        "supplier": TableSchema(
+            "supplier",
+            [
+                Column("s_suppkey", I), Column("s_name", S),
+                Column("s_address", S), Column("s_city", S),
+                Column("s_nation", S), Column("s_region", S),
+                Column("s_phone", S),
+            ],
+            ["s_suppkey"],
+        ),
+        "part": TableSchema(
+            "part",
+            [
+                Column("p_partkey", I), Column("p_name", S),
+                Column("p_mfgr", S), Column("p_category", S),
+                Column("p_brand1", S), Column("p_color", S),
+                Column("p_type", S), Column("p_size", I),
+                Column("p_container", S),
+            ],
+            ["p_partkey"],
+        ),
+        "lineorder": TableSchema(
+            "lineorder",
+            [
+                Column("lo_orderkey", I), Column("lo_linenumber", I),
+                Column("lo_custkey", I), Column("lo_partkey", I),
+                Column("lo_suppkey", I), Column("lo_orderdate", I),
+                Column("lo_orderpriority", S), Column("lo_shippriority", I),
+                Column("lo_quantity", I), Column("lo_extendedprice", D),
+                Column("lo_ordtotalprice", D), Column("lo_discount", I),
+                Column("lo_revenue", D), Column("lo_supplycost", D),
+                Column("lo_tax", I), Column("lo_commitdate", I),
+                Column("lo_shipmode", S),
+            ],
+            ["lo_orderkey", "lo_linenumber"],
+            affinity_key="lo_orderkey",
+        ),
+    }
+
+
+#: The paper's nine SSB indexes (Section 6.4): one per primary key plus
+#: four on the LINEORDER join columns.
+SSB_INDEXES: List[Tuple[str, str, Tuple[str, ...]]] = [
+    ("date_dim", "date_pk", ("d_datekey",)),
+    ("customer", "customer_pk", ("c_custkey",)),
+    ("supplier", "supplier_pk", ("s_suppkey",)),
+    ("part", "part_pk", ("p_partkey",)),
+    ("lineorder", "lineorder_pk", ("lo_orderkey", "lo_linenumber")),
+    ("lineorder", "lineorder_orderdate", ("lo_orderdate",)),
+    ("lineorder", "lineorder_partkey", ("lo_partkey",)),
+    ("lineorder", "lineorder_suppkey", ("lo_suppkey",)),
+    ("lineorder", "lineorder_custkey", ("lo_custkey",)),
+]
+
+
+def table_cardinalities(scale_factor: float) -> Dict[str, int]:
+    sf = scale_factor
+    # Dimension tables shrink less than the fact table (1/10 vs 1/200 of
+    # the official dbgen): at mini scale a 1/100 supplier table would be so
+    # small that *every* region filter drops below the legacy estimator's
+    # small-input threshold, triggering nested-loop plans the real system
+    # would not produce at SF 0.5-3.
+    return {
+        "customer": max(20, int(600 * sf)),
+        "supplier": max(12, int(200 * sf)),
+        "part": max(10, int(2000 * sf)),
+        "orders": max(20, int(7500 * sf)),
+    }
+
+
+def generate_ssb(scale_factor: float, seed: int = 11) -> Dict[str, List[Tuple]]:
+    rng = random.Random(seed)
+    counts = table_cardinalities(scale_factor)
+    tables: Dict[str, List[Tuple]] = {}
+
+    # DATE dimension: every day of 1992-1998.
+    dates = []
+    datekeys = []
+    day = datetime.date(1992, 1, 1)
+    end = datetime.date(1998, 12, 31)
+    while day <= end:
+        key = day.year * 10000 + day.month * 100 + day.day
+        datekeys.append(key)
+        dates.append(
+            (
+                key,
+                day.isoformat(),
+                day.strftime("%A"),
+                day.strftime("%B"),
+                day.year,
+                day.year * 100 + day.month,
+                day.strftime("%b%Y"),
+                int(day.strftime("%W")),
+            )
+        )
+        day += datetime.timedelta(days=1)
+    tables["date_dim"] = dates
+
+    def place(rng: random.Random) -> Tuple[str, str, str]:
+        # Three cities per nation keeps city-level predicates (Q3.3/Q3.4)
+        # selective but non-empty at mini scale.
+        region = rng.choice(REGIONS)
+        nation = rng.choice(NATIONS_PER_REGION[region])
+        city = f"{nation[:9]}{rng.randrange(3)}"
+        return region, nation, city
+
+    customers = []
+    for key in range(1, counts["customer"] + 1):
+        region, nation, city = place(rng)
+        customers.append(
+            (
+                key, f"Customer#{key:09d}", f"addr{key}", city, nation,
+                region, f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}",
+                rng.choice(SEGMENTS),
+            )
+        )
+    tables["customer"] = customers
+
+    suppliers = []
+    for key in range(1, counts["supplier"] + 1):
+        region, nation, city = place(rng)
+        suppliers.append(
+            (
+                key, f"Supplier#{key:09d}", f"addr{key}", city, nation,
+                region, f"{rng.randrange(10, 35)}-{rng.randrange(100, 999)}",
+            )
+        )
+    tables["supplier"] = suppliers
+
+    parts = []
+    for key in range(1, counts["part"] + 1):
+        mfgr = rng.choice(MFGRS)
+        category = f"{mfgr}{rng.randrange(1, 6)}"
+        brand = f"{category}{rng.randrange(1, 41)}"
+        parts.append(
+            (
+                key, " ".join(rng.sample(COLORS, 2)), mfgr, category, brand,
+                rng.choice(COLORS), f"type{rng.randrange(1, 26)}",
+                rng.randrange(1, 51), f"container{rng.randrange(1, 11)}",
+            )
+        )
+    tables["part"] = parts
+
+    lineorders = []
+    for order in range(1, counts["orders"] + 1):
+        cust = rng.randrange(1, counts["customer"] + 1)
+        order_date = rng.choice(datekeys)
+        priority = rng.choice(
+            ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+        )
+        lines = rng.randrange(1, 8)
+        total = 0.0
+        rows = []
+        for line in range(1, lines + 1):
+            part = rng.randrange(1, counts["part"] + 1)
+            supp = rng.randrange(1, counts["supplier"] + 1)
+            quantity = rng.randrange(1, 51)
+            price = round(quantity * (90 + part % 110) / 10.0, 2)
+            discount = rng.randrange(0, 11)
+            revenue = round(price * (100 - discount) / 100.0, 2)
+            supplycost = round(0.6 * price, 2)
+            commit = rng.choice(datekeys)
+            rows.append(
+                [
+                    order, line, cust, part, supp, order_date, priority, 0,
+                    quantity, price, 0.0, discount, revenue, supplycost,
+                    rng.randrange(0, 9), commit,
+                    rng.choice(["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"]),
+                ]
+            )
+            total += price
+        for row in rows:
+            row[10] = round(total, 2)
+            lineorders.append(tuple(row))
+    tables["lineorder"] = lineorders
+    return tables

@@ -1,0 +1,202 @@
+"""The 13 Star Schema Benchmark queries (four flights).
+
+Parameters follow O'Neil et al.'s definitions, adapted to the mini
+generator's value domains (city names are ``<nation[:9]><digit>``).
+
+Per Section 6.4 of the paper, query sets two and four are excluded from
+the evaluation: QS4 overwhelms Calcite's planner on *both* systems (it is
+a 5-way join), and QS2 does so on the *modified* system because the extra
+join algorithm and distribution mappings enlarge the search space.  The
+reproduction's planner is leaner than Calcite's and plans both sets fine,
+so the exclusion is carried as metadata (``excluded``) honoured by the
+Figure 11 harness — a documented fidelity note in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class SsbQuerySpec:
+    qid: str
+    flight: int
+    sql: str
+    #: Excluded from the paper's SSB test bench (Section 6.4).
+    excluded: bool = False
+    notes: str = ""
+
+
+SSB_QUERIES: Dict[str, SsbQuerySpec] = {}
+
+
+def _q(qid: str, flight: int, sql: str, excluded: bool = False, notes: str = "") -> None:
+    SSB_QUERIES[qid] = SsbQuerySpec(qid, flight, sql.strip(), excluded, notes)
+
+
+_q("Q1.1", 1, """
+select sum(lo.lo_extendedprice * lo.lo_discount) as revenue
+from lineorder lo, date_dim d
+where lo.lo_orderdate = d.d_datekey
+  and d.d_year = 1993
+  and lo.lo_discount between 1 and 3
+  and lo.lo_quantity < 25
+""")
+
+_q("Q1.2", 1, """
+select sum(lo.lo_extendedprice * lo.lo_discount) as revenue
+from lineorder lo, date_dim d
+where lo.lo_orderdate = d.d_datekey
+  and d.d_yearmonthnum = 199401
+  and lo.lo_discount between 4 and 6
+  and lo.lo_quantity between 26 and 35
+""")
+
+_q("Q1.3", 1, """
+select sum(lo.lo_extendedprice * lo.lo_discount) as revenue
+from lineorder lo, date_dim d
+where lo.lo_orderdate = d.d_datekey
+  and d.d_weeknuminyear = 6
+  and d.d_year = 1994
+  and lo.lo_discount between 5 and 7
+  and lo.lo_quantity between 26 and 35
+""")
+
+_q("Q2.1", 2, """
+select sum(lo.lo_revenue) as revenue, d.d_year, p.p_brand1
+from lineorder lo, date_dim d, part p, supplier s
+where lo.lo_orderdate = d.d_datekey
+  and lo.lo_partkey = p.p_partkey
+  and lo.lo_suppkey = s.s_suppkey
+  and p.p_category = 'MFGR#12'
+  and s.s_region = 'AMERICA'
+group by d.d_year, p.p_brand1
+order by d_year, p_brand1
+""", excluded=True, notes="QS2 exceeds Calcite's search-space limit on the modified system")
+
+_q("Q2.2", 2, """
+select sum(lo.lo_revenue) as revenue, d.d_year, p.p_brand1
+from lineorder lo, date_dim d, part p, supplier s
+where lo.lo_orderdate = d.d_datekey
+  and lo.lo_partkey = p.p_partkey
+  and lo.lo_suppkey = s.s_suppkey
+  and p.p_brand1 between 'MFGR#2221' and 'MFGR#2228'
+  and s.s_region = 'ASIA'
+group by d.d_year, p.p_brand1
+order by d_year, p_brand1
+""", excluded=True, notes="QS2 exceeds Calcite's search-space limit on the modified system")
+
+_q("Q2.3", 2, """
+select sum(lo.lo_revenue) as revenue, d.d_year, p.p_brand1
+from lineorder lo, date_dim d, part p, supplier s
+where lo.lo_orderdate = d.d_datekey
+  and lo.lo_partkey = p.p_partkey
+  and lo.lo_suppkey = s.s_suppkey
+  and p.p_brand1 = 'MFGR#2221'
+  and s.s_region = 'EUROPE'
+group by d.d_year, p.p_brand1
+order by d_year, p_brand1
+""", excluded=True, notes="QS2 exceeds Calcite's search-space limit on the modified system")
+
+_q("Q3.1", 3, """
+select c.c_nation, s.s_nation, d.d_year, sum(lo.lo_revenue) as revenue
+from customer c, lineorder lo, supplier s, date_dim d
+where lo.lo_custkey = c.c_custkey
+  and lo.lo_suppkey = s.s_suppkey
+  and lo.lo_orderdate = d.d_datekey
+  and c.c_region = 'ASIA'
+  and s.s_region = 'ASIA'
+  and d.d_year >= 1992 and d.d_year <= 1997
+group by c.c_nation, s.s_nation, d.d_year
+order by d_year asc, revenue desc
+""")
+
+_q("Q3.2", 3, """
+select c.c_city, s.s_city, d.d_year, sum(lo.lo_revenue) as revenue
+from customer c, lineorder lo, supplier s, date_dim d
+where lo.lo_custkey = c.c_custkey
+  and lo.lo_suppkey = s.s_suppkey
+  and lo.lo_orderdate = d.d_datekey
+  and c.c_nation = 'UNITED STATES'
+  and s.s_nation = 'UNITED STATES'
+  and d.d_year >= 1992 and d.d_year <= 1997
+group by c.c_city, s.s_city, d.d_year
+order by d_year asc, revenue desc
+""")
+
+_q("Q3.3", 3, """
+select c.c_city, s.s_city, d.d_year, sum(lo.lo_revenue) as revenue
+from customer c, lineorder lo, supplier s, date_dim d
+where lo.lo_custkey = c.c_custkey
+  and lo.lo_suppkey = s.s_suppkey
+  and lo.lo_orderdate = d.d_datekey
+  and (c.c_city = 'UNITED KI0' or c.c_city = 'UNITED KI2')
+  and (s.s_city = 'UNITED KI0' or s.s_city = 'UNITED KI2')
+  and d.d_year >= 1992 and d.d_year <= 1997
+group by c.c_city, s.s_city, d.d_year
+order by d_year asc, revenue desc
+""")
+
+_q("Q3.4", 3, """
+select c.c_city, s.s_city, d.d_year, sum(lo.lo_revenue) as revenue
+from customer c, lineorder lo, supplier s, date_dim d
+where lo.lo_custkey = c.c_custkey
+  and lo.lo_suppkey = s.s_suppkey
+  and lo.lo_orderdate = d.d_datekey
+  and (c.c_city = 'UNITED KI0' or c.c_city = 'UNITED KI2')
+  and (s.s_city = 'UNITED KI0' or s.s_city = 'UNITED KI2')
+  and d.d_yearmonth = 'Dec1997'
+group by c.c_city, s.s_city, d.d_year
+order by d_year asc, revenue desc
+""")
+
+_q("Q4.1", 4, """
+select d.d_year, c.c_nation, sum(lo.lo_revenue - lo.lo_supplycost) as profit
+from date_dim d, customer c, supplier s, part p, lineorder lo
+where lo.lo_custkey = c.c_custkey
+  and lo.lo_suppkey = s.s_suppkey
+  and lo.lo_partkey = p.p_partkey
+  and lo.lo_orderdate = d.d_datekey
+  and c.c_region = 'AMERICA'
+  and s.s_region = 'AMERICA'
+  and (p.p_mfgr = 'MFGR#1' or p.p_mfgr = 'MFGR#2')
+group by d.d_year, c.c_nation
+order by d_year, c_nation
+""", excluded=True, notes="QS4 (5-way join) exceeds Calcite's limits on both systems")
+
+_q("Q4.2", 4, """
+select d.d_year, s.s_nation, p.p_category,
+       sum(lo.lo_revenue - lo.lo_supplycost) as profit
+from date_dim d, customer c, supplier s, part p, lineorder lo
+where lo.lo_custkey = c.c_custkey
+  and lo.lo_suppkey = s.s_suppkey
+  and lo.lo_partkey = p.p_partkey
+  and lo.lo_orderdate = d.d_datekey
+  and c.c_region = 'AMERICA'
+  and s.s_region = 'AMERICA'
+  and (d.d_year = 1997 or d.d_year = 1998)
+  and (p.p_mfgr = 'MFGR#1' or p.p_mfgr = 'MFGR#2')
+group by d.d_year, s.s_nation, p.p_category
+order by d_year, s_nation, p_category
+""", excluded=True, notes="QS4 (5-way join) exceeds Calcite's limits on both systems")
+
+_q("Q4.3", 4, """
+select d.d_year, s.s_city, p.p_brand1,
+       sum(lo.lo_revenue - lo.lo_supplycost) as profit
+from date_dim d, customer c, supplier s, part p, lineorder lo
+where lo.lo_custkey = c.c_custkey
+  and lo.lo_suppkey = s.s_suppkey
+  and lo.lo_partkey = p.p_partkey
+  and lo.lo_orderdate = d.d_datekey
+  and s.s_nation = 'UNITED STATES'
+  and (d.d_year = 1997 or d.d_year = 1998)
+  and p.p_category = 'MFGR#14'
+group by d.d_year, s.s_city, p.p_brand1
+order by d_year, s_city, p_brand1
+""", excluded=True, notes="QS4 (5-way join) exceeds Calcite's limits on both systems")
+
+#: Query ids the paper's Figure 11 reports (flights one and three).
+FIGURE11_QUERY_IDS: Tuple[str, ...] = (
+    "Q1.1", "Q1.2", "Q1.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+)

@@ -1,0 +1,54 @@
+"""TPC-H benchmark: schemas, mini dbgen, the 22 queries, cluster loader."""
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.bench.tpch.datagen import (
+    TPCH_INDEXES,
+    generate_tpch,
+    table_cardinalities,
+    tpch_schemas,
+)
+from repro.bench.tpch.queries import (
+    ENABLED_QUERY_IDS,
+    IC_FAILING_QUERY_IDS,
+    QUERIES,
+    QuerySpec,
+    query_sql,
+)
+from repro.common.config import SystemConfig
+from repro.core.cluster import IgniteCalciteCluster
+
+
+@lru_cache(maxsize=4)
+def cached_tpch_data(scale_factor: float, seed: int = 7):
+    """Generated rows are immutable; share them across clusters."""
+    return generate_tpch(scale_factor, seed)
+
+
+def load_tpch_cluster(
+    config: SystemConfig, scale_factor: float, seed: int = 7
+) -> IgniteCalciteCluster:
+    """A cluster with the TPC-H schema, data and the paper's 16 indexes."""
+    cluster = IgniteCalciteCluster(config)
+    data = cached_tpch_data(scale_factor, seed)
+    for name, schema_factory in tpch_schemas().items():
+        cluster.create_table(schema_factory, data[name])
+    for table, index_name, columns in TPCH_INDEXES:
+        cluster.create_index(table, index_name, columns)
+    return cluster
+
+
+__all__ = [
+    "ENABLED_QUERY_IDS",
+    "IC_FAILING_QUERY_IDS",
+    "QUERIES",
+    "QuerySpec",
+    "TPCH_INDEXES",
+    "cached_tpch_data",
+    "generate_tpch",
+    "load_tpch_cluster",
+    "query_sql",
+    "table_cardinalities",
+    "tpch_schemas",
+]

@@ -1,0 +1,349 @@
+"""Deterministic scaled-down TPC-H data generator.
+
+Follows the TPC-H schema and value distributions closely enough that every
+predicate in the 22 queries is exercised (brands, containers, ship modes,
+comment keywords, phone country codes, date arithmetic windows), while
+shrinking row counts to ~1/100 of the official dbgen so the simulated
+cluster runs in seconds.  Relative table sizes — the property that drives
+plan selection and therefore the paper's effects — match the spec:
+
+    SF 1 (mini): lineitem ~60k, orders 15k, partsupp 8k, part 2k,
+                 customer 1.5k, supplier 100, nation 25, region 5.
+
+NATION and REGION are replicated (they are tiny and join-broadcast in any
+sane deployment); everything else is hash-partitioned, LINEITEM co-located
+with ORDERS on the order key and PARTSUPP with PART on the part key.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Tuple
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import ColumnType
+
+I = ColumnType.INTEGER
+D = ColumnType.DOUBLE
+S = ColumnType.VARCHAR
+DT = ColumnType.DATE
+
+_EPOCH = datetime.date(1992, 1, 1)
+_END = datetime.date(1998, 8, 2)
+_DAYS = (_END - _EPOCH).days
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINER_SYLL1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLL2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki",
+    "lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
+]
+COMMENT_WORDS = [
+    "furiously", "quickly", "carefully", "slyly", "blithely", "express",
+    "regular", "final", "bold", "pending", "ironic", "even", "silent",
+    "accounts", "deposits", "packages", "theodolites", "instructions",
+    "platelets", "requests", "asymptotes", "foxes", "ideas", "dependencies",
+]
+
+
+def _date(rng: random.Random, start_offset: int = 0, span: int = _DAYS) -> datetime.date:
+    return _EPOCH + datetime.timedelta(days=start_offset + rng.randrange(span))
+
+
+def _comment(rng: random.Random, words: int = 4) -> str:
+    return " ".join(rng.choice(COMMENT_WORDS) for _ in range(words))
+
+
+def table_cardinalities(scale_factor: float) -> Dict[str, int]:
+    """Row counts for the mini dbgen (1/100 of official TPC-H)."""
+    sf = scale_factor
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": max(4, int(100 * sf)),
+        "customer": max(10, int(1500 * sf)),
+        "part": max(10, int(2000 * sf)),
+        "orders": max(20, int(15000 * sf)),
+    }
+
+
+def tpch_schemas() -> Dict[str, TableSchema]:
+    """All eight TPC-H table schemas."""
+    return {
+        "region": TableSchema(
+            "region",
+            [Column("r_regionkey", I), Column("r_name", S), Column("r_comment", S)],
+            ["r_regionkey"],
+            replicated=True,
+        ),
+        "nation": TableSchema(
+            "nation",
+            [
+                Column("n_nationkey", I), Column("n_name", S),
+                Column("n_regionkey", I), Column("n_comment", S),
+            ],
+            ["n_nationkey"],
+            replicated=True,
+        ),
+        "supplier": TableSchema(
+            "supplier",
+            [
+                Column("s_suppkey", I), Column("s_name", S),
+                Column("s_address", S), Column("s_nationkey", I),
+                Column("s_phone", S), Column("s_acctbal", D),
+                Column("s_comment", S),
+            ],
+            ["s_suppkey"],
+        ),
+        "customer": TableSchema(
+            "customer",
+            [
+                Column("c_custkey", I), Column("c_name", S),
+                Column("c_address", S), Column("c_nationkey", I),
+                Column("c_phone", S), Column("c_acctbal", D),
+                Column("c_mktsegment", S), Column("c_comment", S),
+            ],
+            ["c_custkey"],
+        ),
+        "part": TableSchema(
+            "part",
+            [
+                Column("p_partkey", I), Column("p_name", S),
+                Column("p_mfgr", S), Column("p_brand", S),
+                Column("p_type", S), Column("p_size", I),
+                Column("p_container", S), Column("p_retailprice", D),
+                Column("p_comment", S),
+            ],
+            ["p_partkey"],
+        ),
+        "partsupp": TableSchema(
+            "partsupp",
+            [
+                Column("ps_partkey", I), Column("ps_suppkey", I),
+                Column("ps_availqty", I), Column("ps_supplycost", D),
+                Column("ps_comment", S),
+            ],
+            ["ps_partkey", "ps_suppkey"],
+            affinity_key="ps_partkey",
+        ),
+        "orders": TableSchema(
+            "orders",
+            [
+                Column("o_orderkey", I), Column("o_custkey", I),
+                Column("o_orderstatus", S), Column("o_totalprice", D),
+                Column("o_orderdate", DT), Column("o_orderpriority", S),
+                Column("o_clerk", S), Column("o_shippriority", I),
+                Column("o_comment", S),
+            ],
+            ["o_orderkey"],
+        ),
+        "lineitem": TableSchema(
+            "lineitem",
+            [
+                Column("l_orderkey", I), Column("l_partkey", I),
+                Column("l_suppkey", I), Column("l_linenumber", I),
+                Column("l_quantity", D), Column("l_extendedprice", D),
+                Column("l_discount", D), Column("l_tax", D),
+                Column("l_returnflag", S), Column("l_linestatus", S),
+                Column("l_shipdate", DT), Column("l_commitdate", DT),
+                Column("l_receiptdate", DT), Column("l_shipinstruct", S),
+                Column("l_shipmode", S), Column("l_comment", S),
+            ],
+            ["l_orderkey", "l_linenumber"],
+            affinity_key="l_orderkey",
+        ),
+    }
+
+
+#: Indexes mirroring the paper's 16-index TPC-H DDL (Section 6).
+TPCH_INDEXES: List[Tuple[str, str, Tuple[str, ...]]] = [
+    ("region", "region_pk", ("r_regionkey",)),
+    ("nation", "nation_pk", ("n_nationkey",)),
+    ("supplier", "supplier_pk", ("s_suppkey",)),
+    ("supplier", "supplier_nation", ("s_nationkey",)),
+    ("customer", "customer_pk", ("c_custkey",)),
+    ("customer", "customer_nation", ("c_nationkey",)),
+    ("part", "part_pk", ("p_partkey",)),
+    ("part", "part_type", ("p_type",)),
+    ("partsupp", "partsupp_pk", ("ps_partkey", "ps_suppkey")),
+    ("partsupp", "partsupp_supp", ("ps_suppkey",)),
+    ("orders", "orders_pk", ("o_orderkey",)),
+    ("orders", "orders_cust", ("o_custkey",)),
+    ("orders", "orders_date", ("o_orderdate",)),
+    ("lineitem", "lineitem_pk", ("l_orderkey", "l_linenumber")),
+    ("lineitem", "lineitem_part", ("l_partkey",)),
+    ("lineitem", "lineitem_shipdate", ("l_shipdate",)),
+]
+
+
+def generate_tpch(scale_factor: float, seed: int = 7) -> Dict[str, List[Tuple]]:
+    """Generate all eight tables, deterministically for (sf, seed)."""
+    rng = random.Random(seed)
+    counts = table_cardinalities(scale_factor)
+    tables: Dict[str, List[Tuple]] = {}
+
+    tables["region"] = [
+        (key, name, _comment(rng)) for key, name in enumerate(REGIONS)
+    ]
+    tables["nation"] = [
+        (key, name, region, _comment(rng))
+        for key, (name, region) in enumerate(NATIONS)
+    ]
+
+    supplier_count = counts["supplier"]
+    suppliers = []
+    for key in range(1, supplier_count + 1):
+        nation = rng.randrange(25)
+        comment = _comment(rng, 6)
+        # ~1% of suppliers carry the Q16 complaint marker.
+        if rng.random() < 0.01:
+            comment = "Customer unhappy Complaints " + comment
+        suppliers.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                _comment(rng, 2),
+                nation,
+                f"{nation + 10}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                comment,
+            )
+        )
+    tables["supplier"] = suppliers
+
+    customer_count = counts["customer"]
+    customers = []
+    for key in range(1, customer_count + 1):
+        nation = rng.randrange(25)
+        customers.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                _comment(rng, 2),
+                nation,
+                f"{nation + 10}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(SEGMENTS),
+                _comment(rng, 6),
+            )
+        )
+    tables["customer"] = customers
+
+    part_count = counts["part"]
+    parts = []
+    for key in range(1, part_count + 1):
+        name = " ".join(rng.sample(COLORS, 5))
+        mfgr = f"Manufacturer#{rng.randrange(1, 6)}"
+        brand = f"Brand#{mfgr[-1]}{rng.randrange(1, 6)}"
+        ptype = (
+            f"{rng.choice(TYPE_SYLL1)} {rng.choice(TYPE_SYLL2)} "
+            f"{rng.choice(TYPE_SYLL3)}"
+        )
+        container = f"{rng.choice(CONTAINER_SYLL1)} {rng.choice(CONTAINER_SYLL2)}"
+        retail = round(900 + (key % 200) + 0.01 * (key % 1000), 2)
+        parts.append(
+            (
+                key, name, mfgr, brand, ptype, rng.randrange(1, 51),
+                container, retail, _comment(rng, 3),
+            )
+        )
+    tables["part"] = parts
+
+    partsupps = []
+    for part_key in range(1, part_count + 1):
+        for slot in range(4):
+            supp = (
+                (part_key + slot * (supplier_count // 4 + 1)) % supplier_count
+            ) + 1
+            partsupps.append(
+                (
+                    part_key, supp, rng.randrange(1, 10_000),
+                    round(rng.uniform(1.0, 1000.0), 2), _comment(rng, 5),
+                )
+            )
+    tables["partsupp"] = partsupps
+
+    order_count = counts["orders"]
+    orders = []
+    lineitems = []
+    for key in range(1, order_count + 1):
+        # Per the TPC-H spec, a third of customers never place orders
+        # (custkeys divisible by 3 are skipped) — Q22 hunts for them.
+        cust = rng.randrange(1, customer_count + 1)
+        while cust % 3 == 0:
+            cust = rng.randrange(1, customer_count + 1)
+        order_date = _date(rng, 0, _DAYS - 151)
+        comment = _comment(rng, 5)
+        # ~1% of order comments match Q13's '%special%requests%' pattern.
+        if rng.random() < 0.01:
+            comment = "special packages wake requests " + comment
+        line_count = rng.randrange(1, 8)
+        total = 0.0
+        any_open = False
+        for line_number in range(1, line_count + 1):
+            part_key = rng.randrange(1, part_count + 1)
+            slot = rng.randrange(4)
+            supp = (
+                (part_key + slot * (supplier_count // 4 + 1)) % supplier_count
+            ) + 1
+            quantity = float(rng.randrange(1, 51))
+            price = round(quantity * (900 + (part_key % 200)) / 10.0, 2)
+            discount = round(rng.randrange(0, 11) / 100.0, 2)
+            tax = round(rng.randrange(0, 9) / 100.0, 2)
+            ship = order_date + datetime.timedelta(days=rng.randrange(1, 122))
+            commit = order_date + datetime.timedelta(days=rng.randrange(30, 91))
+            receipt = ship + datetime.timedelta(days=rng.randrange(1, 31))
+            cutoff = datetime.date(1995, 6, 17)
+            if receipt <= cutoff:
+                return_flag = rng.choice(["R", "A"])
+            else:
+                return_flag = "N"
+            line_status = "O" if ship > cutoff else "F"
+            lineitems.append(
+                (
+                    key, part_key, supp, line_number, quantity, price,
+                    discount, tax, return_flag, line_status,
+                    ship.isoformat(), commit.isoformat(), receipt.isoformat(),
+                    rng.choice(SHIP_INSTRUCT), rng.choice(SHIP_MODES),
+                    _comment(rng, 3),
+                )
+            )
+            total += price * (1 + tax) * (1 - discount)
+            if line_status == "O":
+                any_open = True
+        status = "O" if any_open else "F"
+        orders.append(
+            (
+                key, cust, status, round(total, 2), order_date.isoformat(),
+                rng.choice(PRIORITIES), f"Clerk#{rng.randrange(1, 1000):09d}",
+                0, comment,
+            )
+        )
+    tables["orders"] = orders
+    tables["lineitem"] = lineitems
+    return tables

@@ -1,0 +1,415 @@
+"""The 22 TPC-H queries, written for the reproduction's SQL dialect.
+
+Parameters are fixed to their Benchbase-style defaults (concrete literals;
+date arithmetic pre-computed).  Two queries are structural rewrites that
+preserve semantics where the dialect lacks a feature:
+
+* Q11 moves its HAVING scalar subquery into a derived-table WHERE and
+  compares ``value * 10000 > sum`` instead of ``value > sum * 0.0001``;
+* Q17/Q20 compare ``5 * l_quantity < avg`` / ``2 * ps_availqty > sum``
+  instead of multiplying the subquery side, so the scalar subquery stays a
+  bare aggregate.
+
+Per the paper (Section 6): Q15 needs SQL VIEWs (unsupported in
+Ignite+Calcite) and Q20 trips an unresolved planner defect; both are
+disabled in every system variant.  On the baseline IC, Q2/Q5/Q9 fail to
+plan and Q19/Q21 (and at larger scale factors Q17) exceed the runtime
+limit — those outcomes come out of the engine, not out of this file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    qid: int
+    name: str
+    sql: str
+    #: Disabled in the paper's evaluation for every system variant.
+    disabled: bool = False
+    notes: str = ""
+
+
+QUERIES: Dict[int, QuerySpec] = {}
+
+
+def _q(qid: int, sql: str, disabled: bool = False, notes: str = "") -> None:
+    QUERIES[qid] = QuerySpec(qid, f"Q{qid}", sql.strip(), disabled, notes)
+
+
+_q(1, """
+select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= '1998-09-02'
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus
+""")
+
+_q(2, """
+select s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr,
+       s.s_address, s.s_phone, s.s_comment
+from part p, supplier s, partsupp ps, nation n, region r
+where p.p_partkey = ps.ps_partkey
+  and s.s_suppkey = ps.ps_suppkey
+  and p.p_size = 15
+  and p.p_type like '%BRASS'
+  and s.s_nationkey = n.n_nationkey
+  and n.n_regionkey = r.r_regionkey
+  and r.r_name = 'EUROPE'
+  and ps.ps_supplycost = (
+      select min(ps2.ps_supplycost)
+      from partsupp ps2, supplier s2, nation n2, region r2
+      where p.p_partkey = ps2.ps_partkey
+        and s2.s_suppkey = ps2.ps_suppkey
+        and s2.s_nationkey = n2.n_nationkey
+        and n2.n_regionkey = r2.r_regionkey
+        and r2.r_name = 'EUROPE')
+order by s_acctbal desc, n_name, s_name, p_partkey
+limit 100
+""", notes="fails to plan on IC: redundant equi-graph + 8 joins")
+
+_q(3, """
+select l.l_orderkey,
+       sum(l.l_extendedprice * (1 - l.l_discount)) as revenue,
+       o.o_orderdate, o.o_shippriority
+from customer c, orders o, lineitem l
+where c.c_mktsegment = 'BUILDING'
+  and c.c_custkey = o.o_custkey
+  and l.l_orderkey = o.o_orderkey
+  and o.o_orderdate < '1995-03-15'
+  and l.l_shipdate > '1995-03-15'
+group by l.l_orderkey, o.o_orderdate, o.o_shippriority
+order by revenue desc, o_orderdate
+limit 10
+""")
+
+_q(4, """
+select o_orderpriority, count(*) as order_count
+from orders o
+where o.o_orderdate >= '1993-07-01'
+  and o.o_orderdate < '1993-10-01'
+  and exists (
+      select * from lineitem l
+      where l.l_orderkey = o.o_orderkey
+        and l.l_commitdate < l.l_receiptdate)
+group by o_orderpriority
+order by o_orderpriority
+""", notes="big IC+ gain from FILTER_CORRELATE pushdown")
+
+_q(5, """
+select n.n_name,
+       sum(l.l_extendedprice * (1 - l.l_discount)) as revenue
+from customer c, orders o, lineitem l, supplier s, nation n, region r
+where c.c_custkey = o.o_custkey
+  and l.l_orderkey = o.o_orderkey
+  and l.l_suppkey = s.s_suppkey
+  and c.c_nationkey = s.s_nationkey
+  and s.s_nationkey = n.n_nationkey
+  and n.n_regionkey = r.r_regionkey
+  and r.r_name = 'ASIA'
+  and o.o_orderdate >= '1994-01-01'
+  and o.o_orderdate < '1995-01-01'
+group by n.n_name
+order by revenue desc
+""", notes="fails to plan on IC: cyclic equi graph (c-s-n) + 5 joins")
+
+_q(6, """
+select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= '1994-01-01'
+  and l_shipdate < '1995-01-01'
+  and l_discount between 0.05 and 0.07
+  and l_quantity < 24
+""")
+
+_q(7, """
+select n1.n_name as supp_nation, n2.n_name as cust_nation,
+       extract(year from l.l_shipdate) as l_year,
+       sum(l.l_extendedprice * (1 - l.l_discount)) as revenue
+from supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+where s.s_suppkey = l.l_suppkey
+  and o.o_orderkey = l.l_orderkey
+  and c.c_custkey = o.o_custkey
+  and s.s_nationkey = n1.n_nationkey
+  and c.c_nationkey = n2.n_nationkey
+  and ((n1.n_name = 'FRANCE' and n2.n_name = 'GERMANY')
+       or (n1.n_name = 'GERMANY' and n2.n_name = 'FRANCE'))
+  and l.l_shipdate between '1995-01-01' and '1996-12-31'
+group by n1.n_name, n2.n_name, extract(year from l.l_shipdate)
+order by supp_nation, cust_nation, l_year
+""")
+
+_q(8, """
+select extract(year from o.o_orderdate) as o_year,
+       sum(case when n2.n_name = 'BRAZIL'
+                then l.l_extendedprice * (1 - l.l_discount)
+                else 0 end)
+       / sum(l.l_extendedprice * (1 - l.l_discount)) as mkt_share
+from part p, supplier s, lineitem l, orders o, customer c,
+     nation n1, nation n2, region r
+where p.p_partkey = l.l_partkey
+  and s.s_suppkey = l.l_suppkey
+  and l.l_orderkey = o.o_orderkey
+  and o.o_custkey = c.c_custkey
+  and c.c_nationkey = n1.n_nationkey
+  and n1.n_regionkey = r.r_regionkey
+  and r.r_name = 'AMERICA'
+  and s.s_nationkey = n2.n_nationkey
+  and o.o_orderdate between '1995-01-01' and '1996-12-31'
+  and p.p_type = 'ECONOMY ANODIZED STEEL'
+group by extract(year from o.o_orderdate)
+order by o_year
+""")
+
+_q(9, """
+select n.n_name as nation,
+       extract(year from o.o_orderdate) as o_year,
+       sum(l.l_extendedprice * (1 - l.l_discount)
+           - ps.ps_supplycost * l.l_quantity) as sum_profit
+from part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+where s.s_suppkey = l.l_suppkey
+  and ps.ps_suppkey = l.l_suppkey
+  and ps.ps_partkey = l.l_partkey
+  and p.p_partkey = l.l_partkey
+  and o.o_orderkey = l.l_orderkey
+  and s.s_nationkey = n.n_nationkey
+  and p.p_name like '%green%'
+group by n.n_name, extract(year from o.o_orderdate)
+order by nation, o_year desc
+""", notes="fails to plan on IC: two 3-way equi classes through partsupp")
+
+_q(10, """
+select c.c_custkey, c.c_name,
+       sum(l.l_extendedprice * (1 - l.l_discount)) as revenue,
+       c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment
+from customer c, orders o, lineitem l, nation n
+where c.c_custkey = o.o_custkey
+  and l.l_orderkey = o.o_orderkey
+  and o.o_orderdate >= '1993-10-01'
+  and o.o_orderdate < '1994-01-01'
+  and l.l_returnflag = 'R'
+  and c.c_nationkey = n.n_nationkey
+group by c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, n.n_name,
+         c.c_address, c.c_comment
+order by revenue desc
+limit 20
+""")
+
+_q(11, """
+select pv.ps_partkey, pv.value
+from (select ps.ps_partkey,
+             sum(ps.ps_supplycost * ps.ps_availqty) as value
+      from partsupp ps, supplier s, nation n
+      where ps.ps_suppkey = s.s_suppkey
+        and s.s_nationkey = n.n_nationkey
+        and n.n_name = 'GERMANY'
+      group by ps.ps_partkey) as pv
+where pv.value * 10000 > (
+      select sum(ps2.ps_supplycost * ps2.ps_availqty)
+      from partsupp ps2, supplier s2, nation n2
+      where ps2.ps_suppkey = s2.s_suppkey
+        and s2.s_nationkey = n2.n_nationkey
+        and n2.n_name = 'GERMANY')
+order by value desc
+""")
+
+_q(12, """
+select l.l_shipmode,
+       sum(case when o.o_orderpriority = '1-URGENT'
+                  or o.o_orderpriority = '2-HIGH'
+                then 1 else 0 end) as high_line_count,
+       sum(case when o.o_orderpriority <> '1-URGENT'
+                 and o.o_orderpriority <> '2-HIGH'
+                then 1 else 0 end) as low_line_count
+from orders o, lineitem l
+where o.o_orderkey = l.l_orderkey
+  and l.l_shipmode in ('MAIL', 'SHIP')
+  and l.l_commitdate < l.l_receiptdate
+  and l.l_shipdate < l.l_commitdate
+  and l.l_receiptdate >= '1994-01-01'
+  and l.l_receiptdate < '1995-01-01'
+group by l.l_shipmode
+order by l_shipmode
+""")
+
+_q(13, """
+select co.c_count, count(*) as custdist
+from (select c.c_custkey, count(o.o_orderkey) as c_count
+      from customer c left outer join orders o
+        on c.c_custkey = o.o_custkey
+       and o.o_comment not like '%special%requests%'
+      group by c.c_custkey) as co
+group by co.c_count
+order by custdist desc, c_count desc
+""")
+
+_q(14, """
+select 100.00 * sum(case when p.p_type like 'PROMO%'
+                         then l.l_extendedprice * (1 - l.l_discount)
+                         else 0 end)
+       / sum(l.l_extendedprice * (1 - l.l_discount)) as promo_revenue
+from lineitem l, part p
+where l.l_partkey = p.p_partkey
+  and l.l_shipdate >= '1995-09-01'
+  and l.l_shipdate < '1995-10-01'
+""")
+
+_q(15, """
+create view revenue0 as
+select l_suppkey as supplier_no,
+       sum(l_extendedprice * (1 - l_discount)) as total_revenue
+from lineitem
+where l_shipdate >= '1996-01-01' and l_shipdate < '1996-04-01'
+group by l_suppkey
+""", disabled=True, notes="requires SQL VIEWs, unsupported in Ignite+Calcite")
+
+_q(16, """
+select p.p_brand, p.p_type, p.p_size,
+       count(distinct ps.ps_suppkey) as supplier_cnt
+from partsupp ps, part p
+where p.p_partkey = ps.ps_partkey
+  and p.p_brand <> 'Brand#45'
+  and p.p_type not like 'MEDIUM POLISHED%'
+  and p.p_size in (49, 14, 23, 45, 19, 3, 36, 9)
+  and ps.ps_suppkey not in (
+      select s_suppkey from supplier
+      where s_comment like '%Customer%Complaints%')
+group by p.p_brand, p.p_type, p.p_size
+order by supplier_cnt desc, p_brand, p_type, p_size
+""", notes="COUNT(DISTINCT) forces a single-phase reduction aggregate")
+
+_q(17, """
+select sum(l.l_extendedprice) / 7.0 as avg_yearly
+from lineitem l, part p
+where p.p_partkey = l.l_partkey
+  and p.p_brand = 'Brand#23'
+  and p.p_container = 'MED BOX'
+  and 5 * l.l_quantity < (
+      select avg(l2.l_quantity) from lineitem l2
+      where l2.l_partkey = l.l_partkey)
+""")
+
+_q(18, """
+select c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+       o.o_totalprice, sum(l.l_quantity) as total_qty
+from customer c, orders o, lineitem l
+where o.o_orderkey in (
+      select l2.l_orderkey from lineitem l2
+      group by l2.l_orderkey
+      having sum(l2.l_quantity) > 300)
+  and c.c_custkey = o.o_custkey
+  and o.o_orderkey = l.l_orderkey
+group by c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+order by o_totalprice desc, o_orderdate
+limit 100
+""")
+
+_q(19, """
+select sum(l.l_extendedprice * (1 - l.l_discount)) as revenue
+from lineitem l, part p
+where (p.p_partkey = l.l_partkey
+       and p.p_brand = 'Brand#12'
+       and p.p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+       and l.l_quantity >= 1 and l.l_quantity <= 11
+       and p.p_size between 1 and 5
+       and l.l_shipmode in ('AIR', 'REG AIR')
+       and l.l_shipinstruct = 'DELIVER IN PERSON')
+   or (p.p_partkey = l.l_partkey
+       and p.p_brand = 'Brand#23'
+       and p.p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+       and l.l_quantity >= 10 and l.l_quantity <= 20
+       and p.p_size between 1 and 10
+       and l.l_shipmode in ('AIR', 'REG AIR')
+       and l.l_shipinstruct = 'DELIVER IN PERSON')
+   or (p.p_partkey = l.l_partkey
+       and p.p_brand = 'Brand#34'
+       and p.p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+       and l.l_quantity >= 20 and l.l_quantity <= 30
+       and p.p_size between 1 and 15
+       and l.l_shipmode in ('AIR', 'REG AIR')
+       and l.l_shipinstruct = 'DELIVER IN PERSON')
+""", notes="Section 5.2's motivating query: OR-of-ANDs join predicate")
+
+_q(20, """
+select s.s_name, s.s_address
+from supplier s, nation n
+where s.s_suppkey in (
+      select ps.ps_suppkey from partsupp ps
+      where ps.ps_partkey in (
+            select p_partkey from part where p_name like 'forest%')
+        and 2 * ps.ps_availqty > (
+            select sum(l.l_quantity) from lineitem l
+            where l.l_partkey = ps.ps_partkey
+              and l.l_suppkey = ps.ps_suppkey
+              and l.l_shipdate >= '1994-01-01'
+              and l.l_shipdate < '1995-01-01'))
+  and s.s_nationkey = n.n_nationkey
+  and n.n_name = 'CANADA'
+order by s_name
+""", disabled=True, notes="unresolved planner defect (both systems)")
+
+_q(21, """
+select s.s_name, count(*) as numwait
+from supplier s, lineitem l1, orders o, nation n
+where s.s_suppkey = l1.l_suppkey
+  and o.o_orderkey = l1.l_orderkey
+  and o.o_orderstatus = 'F'
+  and l1.l_receiptdate > l1.l_commitdate
+  and exists (
+      select * from lineitem l2
+      where l2.l_orderkey = l1.l_orderkey
+        and l2.l_suppkey <> l1.l_suppkey)
+  and not exists (
+      select * from lineitem l3
+      where l3.l_orderkey = l1.l_orderkey
+        and l3.l_suppkey <> l1.l_suppkey
+        and l3.l_receiptdate > l3.l_commitdate)
+  and s.s_nationkey = n.n_nationkey
+  and n.n_name = 'SAUDI ARABIA'
+group by s.s_name
+order by numwait desc, s_name
+limit 100
+""", notes="times out on IC: cardinality-1 estimates pick NLJ semi joins")
+
+_q(22, """
+select substring(c.c_phone from 1 for 2) as cntrycode,
+       count(*) as numcust,
+       sum(c.c_acctbal) as totacctbal
+from customer c
+where substring(c.c_phone from 1 for 2) in
+      ('13', '31', '23', '29', '30', '18', '17')
+  and c.c_acctbal > (
+      select avg(c2.c_acctbal) from customer c2
+      where c2.c_acctbal > 0.00
+        and substring(c2.c_phone from 1 for 2) in
+            ('13', '31', '23', '29', '30', '18', '17'))
+  and not exists (
+      select * from orders o where o.o_custkey = c.c_custkey)
+group by substring(c.c_phone from 1 for 2)
+order by cntrycode
+""")
+
+#: Query ids the paper's evaluation enables (Q15 and Q20 are disabled).
+ENABLED_QUERY_IDS: Tuple[int, ...] = tuple(
+    qid for qid, spec in sorted(QUERIES.items()) if not spec.disabled
+)
+
+#: Queries the baseline IC cannot complete (plan failures + timeouts),
+#: as reported in Section 6.2.1 / 6.3 — used to mirror the paper's AQL
+#: test, which disables them "to ensure a fair comparison".
+IC_FAILING_QUERY_IDS: Tuple[int, ...] = (2, 5, 9, 17, 19, 21)
+
+
+def query_sql(qid: int) -> str:
+    return QUERIES[qid].sql

@@ -1,0 +1,233 @@
+"""Command-line interface for the reproduction.
+
+::
+
+    repro-bench failures  [--sf 0.5]
+    repro-bench figure7   [--sf 0.5,1] [--sites 4,8]
+    repro-bench figure8   [--sf 0.5,1] [--sites 4,8]
+    repro-bench figure9   [--sf 0.5,1] [--sites 4]
+    repro-bench table3    [--sf 1] [--sites 4,8] [--clients 2,4,8]
+    repro-bench figure11  [--sf 0.5,1] [--sites 4,8]
+    repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
+                                   [--explain]
+
+Each figure command re-runs the corresponding paper experiment on the
+simulated cluster and prints the table.  ``query`` runs ad-hoc SQL against
+a loaded TPC-H or SSB cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import ResponseTimeHarness, run_aql
+from repro.bench.ssb import FIGURE11_QUERY_IDS, SSB_QUERIES, load_ssb_cluster
+from repro.bench.tpch import (
+    ENABLED_QUERY_IDS,
+    IC_FAILING_QUERY_IDS,
+    QUERIES,
+    load_tpch_cluster,
+)
+from repro.common.config import PRESETS, SystemConfig
+
+TPCH_QUERIES = {f"Q{qid}": QUERIES[qid].sql for qid in ENABLED_QUERY_IDS}
+
+
+def _floats(raw: str) -> Tuple[float, ...]:
+    return tuple(float(x) for x in raw.split(","))
+
+
+def _ints(raw: str) -> Tuple[int, ...]:
+    return tuple(int(x) for x in raw.split(","))
+
+
+def _gain_table(
+    title: str,
+    baseline_name: str,
+    improved_name: str,
+    scale_factors: Sequence[float],
+    site_counts: Sequence[int],
+) -> None:
+    print(title)
+    print("query  " + "  ".join(f"{s}-sites" for s in site_counts))
+    results = {}
+    for sites in site_counts:
+        for name in (baseline_name, improved_name):
+            harness = ResponseTimeHarness(
+                load_tpch_cluster, TPCH_QUERIES, scale_factors
+            )
+            results[(name, sites)] = harness.run(PRESETS[name](sites))
+    for query in TPCH_QUERIES:
+        cells = []
+        for sites in site_counts:
+            gain = results[(improved_name, sites)].mean_gain_over(
+                results[(baseline_name, sites)], query, scale_factors
+            )
+            cells.append("  n/a  " if gain is None else f"{gain:6.2f}x")
+        print(f"{query:<6} " + "  ".join(cells))
+
+
+def cmd_failures(args) -> None:
+    sf = args.sf[0]
+    ic = load_tpch_cluster(SystemConfig.ic(4), sf)
+    ic_plus = load_tpch_cluster(SystemConfig.ic_plus(4), sf)
+    print(f"Baseline failure matrix at SF {sf} (Section 1 / Section 6)")
+    print("query  IC                IC+")
+    for qid in sorted(QUERIES):
+        a = ic.try_sql(QUERIES[qid].sql)
+        b = ic_plus.try_sql(QUERIES[qid].sql)
+        print(f"Q{qid:<5} {a.status.value:<17} {b.status.value}")
+
+
+def cmd_figure7(args) -> None:
+    _gain_table(
+        "Figure 7: IC+ speedup over IC", "IC", "IC+", args.sf, args.sites
+    )
+
+
+def cmd_figure8(args) -> None:
+    _gain_table(
+        "Figure 8: IC+M speedup over IC", "IC", "IC+M", args.sf, args.sites
+    )
+
+
+def cmd_figure9(args) -> None:
+    for sites in args.sites:
+        base = ResponseTimeHarness(
+            load_tpch_cluster, TPCH_QUERIES, args.sf
+        ).run(SystemConfig.ic_plus(sites))
+        multi = ResponseTimeHarness(
+            load_tpch_cluster, TPCH_QUERIES, args.sf
+        ).run(SystemConfig.ic_plus_m(sites))
+        print(f"Figure {'9' if sites == 4 else '10'}: "
+              f"IC+ vs IC+M incremental change ({sites} sites)")
+        for query in TPCH_QUERIES:
+            gain = multi.mean_gain_over(base, query, args.sf)
+            cell = "   n/a" if gain is None else f"{(gain - 1) * 100:+6.1f}%"
+            print(f"{query:<6} {cell}")
+        print()
+
+
+def cmd_table3(args) -> None:
+    workload = {
+        f"Q{qid}": QUERIES[qid].sql
+        for qid in ENABLED_QUERY_IDS
+        if qid not in IC_FAILING_QUERY_IDS
+    }
+    sf = args.sf[0]
+    print(f"Table 3: Average Query Latency (simulated seconds, SF {sf})")
+    systems = list(PRESETS)
+    print("clients  " + "  ".join(
+        f"{s}@{n}" for n in args.sites for s in systems
+    ))
+    clusters = {
+        (name, sites): load_tpch_cluster(PRESETS[name](sites), sf)
+        for sites in args.sites
+        for name in systems
+    }
+    for clients in args.clients:
+        cells = []
+        for sites in args.sites:
+            for name in systems:
+                result = run_aql(
+                    clusters[(name, sites)], workload, clients, 300.0
+                )
+                cells.append(f"{result.average_latency:7.3f}")
+        print(f"{clients:<8} " + "  ".join(cells))
+
+
+def cmd_figure11(args) -> None:
+    queries = {qid: SSB_QUERIES[qid].sql for qid in FIGURE11_QUERY_IDS}
+    print("Figure 11: SSB per-query multiplier, IC vs IC+M")
+    print("query  " + "  ".join(f"{s}-sites" for s in args.sites))
+    results = {}
+    for sites in args.sites:
+        for name in ("IC", "IC+M"):
+            harness = ResponseTimeHarness(load_ssb_cluster, queries, args.sf)
+            results[(name, sites)] = harness.run(PRESETS[name](sites))
+    for qid in FIGURE11_QUERY_IDS:
+        cells = []
+        for sites in args.sites:
+            gain = results[("IC+M", sites)].mean_gain_over(
+                results[("IC", sites)], qid, args.sf
+            )
+            cells.append("  n/a  " if gain is None else f"{gain:6.2f}x")
+        print(f"{qid:<6} " + "  ".join(cells))
+    print("(QS2 and QS4 excluded, Section 6.4)")
+
+
+def cmd_query(args) -> None:
+    loader = load_tpch_cluster if args.bench == "tpch" else load_ssb_cluster
+    cluster = loader(PRESETS[args.system](args.sites[0]), args.sf[0])
+    if args.explain:
+        print(cluster.explain(args.sql))
+        return
+    outcome = cluster.try_sql(args.sql)
+    if not outcome.ok:
+        print(f"{outcome.status.value}: {outcome.error}")
+        sys.exit(1)
+    for row in outcome.rows:
+        print(row)
+    print(
+        f"-- {len(outcome.rows)} rows, "
+        f"{outcome.simulated_seconds * 1000:.2f} ms simulated"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the EDBT 2025 Ignite+Calcite experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, default_sf="0.5", default_sites="4,8"):
+        p.add_argument("--sf", type=_floats, default=_floats(default_sf))
+        p.add_argument(
+            "--sites", type=_ints, default=_ints(default_sites)
+        )
+
+    p = sub.add_parser("failures", help="the Section 1 failure matrix")
+    common(p, default_sites="4")
+    p.set_defaults(func=cmd_failures)
+
+    p = sub.add_parser("figure7", help="IC+ vs IC per-query speedups")
+    common(p, default_sf="0.5,1")
+    p.set_defaults(func=cmd_figure7)
+
+    p = sub.add_parser("figure8", help="IC+M vs IC per-query speedups")
+    common(p, default_sf="0.5,1")
+    p.set_defaults(func=cmd_figure8)
+
+    p = sub.add_parser("figure9", help="multithreading increment")
+    common(p, default_sf="0.5,1", default_sites="4")
+    p.set_defaults(func=cmd_figure9)
+
+    p = sub.add_parser("table3", help="average query latency under load")
+    common(p, default_sf="1")
+    p.add_argument("--clients", type=_ints, default=(2, 4, 8))
+    p.set_defaults(func=cmd_table3)
+
+    p = sub.add_parser("figure11", help="SSB, IC vs IC+M")
+    common(p, default_sf="0.5,1")
+    p.set_defaults(func=cmd_figure11)
+
+    p = sub.add_parser("query", help="run ad-hoc SQL")
+    p.add_argument("sql")
+    p.add_argument("--system", choices=sorted(PRESETS), default="IC+")
+    p.add_argument("--bench", choices=("tpch", "ssb"), default="tpch")
+    p.add_argument("--explain", action="store_true")
+    common(p, default_sites="4")
+    p.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

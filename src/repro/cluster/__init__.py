@@ -1,0 +1,10 @@
+"""Simulated cluster: task scheduling and workload simulation."""
+
+from repro.cluster.scheduler import (
+    SimTask,
+    TaskGraph,
+    WorkloadSimulator,
+    simulate_makespan,
+)
+
+__all__ = ["SimTask", "TaskGraph", "WorkloadSimulator", "simulate_makespan"]

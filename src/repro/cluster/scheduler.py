@@ -1,0 +1,215 @@
+"""The simulated cluster scheduler.
+
+Turns work units into simulated time: each (fragment, site[, variant])
+becomes a task with a duration; sites have a fixed number of cores; a
+discrete-event simulation computes when every task runs.  Fragments are
+bulk-synchronous — a fragment's tasks start once all tasks of its child
+fragments finish — a documented simplification (DESIGN.md) that affects all
+system variants equally.
+
+The same scheduler powers the multi-client Average Query Latency
+experiment (Table 3): terminals submit queries closed-loop, tasks from
+concurrent queries contend for the same cores, and the 2x thread
+oversubscription of IC+M shows up as queueing delay exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.constants import CORE_UNITS_PER_SECOND
+from repro.common.errors import ExecutionError
+
+
+@dataclass
+class SimTask:
+    """One schedulable unit of work at one site."""
+
+    task_id: int
+    site: int
+    units: float
+    deps: Tuple[int, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.units / CORE_UNITS_PER_SECOND
+
+
+@dataclass
+class TaskGraph:
+    """A query's task graph; replayable for workload simulations."""
+
+    tasks: List[SimTask] = field(default_factory=list)
+
+    def add(self, site: int, units: float, deps: Sequence[int] = ()) -> int:
+        task_id = len(self.tasks)
+        self.tasks.append(SimTask(task_id, site, units, tuple(deps)))
+        return task_id
+
+    @property
+    def total_units(self) -> float:
+        return sum(t.units for t in self.tasks)
+
+    def critical_path_units(self) -> float:
+        """Longest dependency chain (infinite-core lower bound)."""
+        memo: Dict[int, float] = {}
+
+        def longest(task_id: int) -> float:
+            cached = memo.get(task_id)
+            if cached is not None:
+                return cached
+            task = self.tasks[task_id]
+            best = max(
+                (longest(d) for d in task.deps), default=0.0
+            )
+            memo[task_id] = best + task.units
+            return memo[task_id]
+
+        return max((longest(t.task_id) for t in self.tasks), default=0.0)
+
+
+def simulate_makespan(
+    graph: TaskGraph, sites: int, cores_per_site: int
+) -> float:
+    """Simulated seconds to complete one query alone on the cluster."""
+    simulator = WorkloadSimulator(sites, cores_per_site)
+    simulator.submit(graph, at=0.0, tag=0)
+    simulator.run()
+    return simulator.completion_time(0)
+
+
+class WorkloadSimulator:
+    """Discrete-event simulation of tasks on a multi-site cluster.
+
+    Supports dynamic submission: a callback fired when a tagged task graph
+    completes may submit more work (the closed-loop terminals of the AQL
+    experiment, Section 6.3).
+    """
+
+    def __init__(self, sites: int, cores_per_site: int):
+        if sites < 1 or cores_per_site < 1:
+            raise ExecutionError("sites and cores_per_site must be >= 1")
+        self.sites = sites
+        self.cores_per_site = cores_per_site
+        self._now = 0.0
+        self._ids = itertools.count()
+        self._pending_deps: Dict[int, int] = {}
+        self._dependents: Dict[int, List[int]] = {}
+        self._tasks: Dict[int, SimTask] = {}
+        self._release: Dict[int, float] = {}
+        self._ready: List[Tuple[float, int, int]] = []  # (release, seq, id)
+        self._running: List[Tuple[float, int]] = []  # (finish, id)
+        self._free_cores = [cores_per_site] * sites
+        self._site_queues: List[List[Tuple[float, int, int]]] = [
+            [] for _ in range(sites)
+        ]
+        self._seq = itertools.count()
+        self._tag_of: Dict[int, int] = {}
+        self._open_tasks: Dict[int, int] = {}
+        self._completions: Dict[int, float] = {}
+        self._submit_times: Dict[int, float] = {}
+        self.on_complete: Optional[Callable[[int, float], None]] = None
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, graph: TaskGraph, at: float, tag: int) -> None:
+        """Instantiate ``graph`` with release time ``at`` under ``tag``."""
+        if tag in self._open_tasks:
+            raise ExecutionError(f"tag {tag} already has an open submission")
+        mapping: Dict[int, int] = {}
+        self._submit_times[tag] = at
+        self._open_tasks[tag] = len(graph.tasks)
+        if not graph.tasks:
+            self._completions[tag] = at
+            del self._open_tasks[tag]
+            return
+        for task in graph.tasks:
+            global_id = next(self._ids)
+            mapping[task.task_id] = global_id
+        for task in graph.tasks:
+            global_id = mapping[task.task_id]
+            deps = [mapping[d] for d in task.deps]
+            instance = SimTask(
+                global_id, task.site % self.sites, task.units, tuple(deps)
+            )
+            self._tasks[global_id] = instance
+            self._tag_of[global_id] = tag
+            self._release[global_id] = at
+            self._pending_deps[global_id] = len(deps)
+            for dep in deps:
+                self._dependents.setdefault(dep, []).append(global_id)
+            if not deps:
+                self._enqueue(global_id, at)
+
+    def _enqueue(self, task_id: int, when: float) -> None:
+        task = self._tasks[task_id]
+        release = max(when, self._release[task_id])
+        heapq.heappush(
+            self._site_queues[task.site], (release, next(self._seq), task_id)
+        )
+
+    # -- simulation loop ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until all work drains (or simulated ``until`` is passed)."""
+        self._dispatch()
+        while self._running:
+            finish, task_id = self._running[0]
+            if until is not None and finish > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._running)
+            self._now = max(self._now, finish)
+            task = self._tasks[task_id]
+            self._free_cores[task.site] += 1
+            self._finish_task(task_id)
+            self._dispatch()
+        return self._now
+
+    def _finish_task(self, task_id: int) -> None:
+        tag = self._tag_of[task_id]
+        self._open_tasks[tag] -= 1
+        if self._open_tasks[tag] == 0:
+            del self._open_tasks[tag]
+            self._completions[tag] = self._now
+            if self.on_complete is not None:
+                self.on_complete(tag, self._now)
+        for dependent in self._dependents.get(task_id, ()):  # release deps
+            self._pending_deps[dependent] -= 1
+            if self._pending_deps[dependent] == 0:
+                self._enqueue(dependent, self._now)
+
+    def _dispatch(self) -> None:
+        for site in range(self.sites):
+            queue = self._site_queues[site]
+            while self._free_cores[site] > 0 and queue:
+                release, _, task_id = queue[0]
+                if release > self._now and not self._running:
+                    # Idle cluster: jump forward to the next release.
+                    self._now = release
+                if release > self._now:
+                    break
+                heapq.heappop(queue)
+                self._free_cores[site] -= 1
+                task = self._tasks[task_id]
+                heapq.heappush(
+                    self._running, (self._now + task.duration, task_id)
+                )
+
+    # -- results ------------------------------------------------------------------------
+
+    def completion_time(self, tag: int) -> float:
+        if tag not in self._completions:
+            raise ExecutionError(f"tag {tag} has not completed")
+        return self._completions[tag]
+
+    def latency(self, tag: int) -> float:
+        return self.completion_time(tag) - self._submit_times[tag]
+
+    @property
+    def now(self) -> float:
+        return self._now

@@ -1,0 +1,144 @@
+"""System configuration: the feature switches behind IC, IC+ and IC+M.
+
+The paper evaluates three system variants (Section 6.1):
+
+* **IC** — stock Apache Ignite 2.16 + Calcite, including all the defects
+  Section 4 documents.
+* **IC+** — IC with the query-planner fixes (Section 4), the join execution
+  optimisations (Section 5.1) and join-condition simplification (Section
+  5.2).  The paper notes these changes are interdependent, so they toggle
+  together in the presets (but each has its own flag here to support the
+  ablation benchmarks).
+* **IC+M** — IC+ plus multithreaded execution plans (Section 5.3) with the
+  dual-threaded configuration the paper found best.
+
+Every behavioural difference between the variants is expressed as a flag on
+:class:`SystemConfig` so experiments can toggle one change at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Immutable configuration of one Ignite+Calcite system variant."""
+
+    # ----- identification ---------------------------------------------------
+    name: str = "custom"
+
+    # ----- cluster shape (Section 6.1 methodology) ---------------------------
+    sites: int = 4
+    #: Concurrent query-execution slots per site.  The paper's machines
+    #: have 24 logical cores, but fragments contend for Ignite's
+    #: query-execution thread pool, not for raw cores; this knob is
+    #: calibrated (DESIGN.md) so that the multi-client contention knee of
+    #: Table 3 lands at the same client counts as the paper's — IC+M's 2x
+    #: threads overtake the pool between 2 and 4 concurrent clients.
+    cores_per_site: int = 4
+    #: Hash partitions per partitioned table (spread evenly over sites).
+    partitions_per_table: int = 8
+
+    # ----- Section 4.1: planner stability fixes ------------------------------
+    #: Use the Swami-Schiefer estimate (Eq. 3) instead of the legacy
+    #: algorithm whose small-input edge case pins join cardinality at 1.
+    fixed_join_estimation: bool = False
+    #: Include the FILTER_CORRELATE rule in the first (Hep) planning stage.
+    filter_correlate_rule: bool = False
+    #: Apply the multi-target penalty in the exchange cost (the baseline
+    #: compares against the wrong constant and never applies it).
+    exchange_penalty_fix: bool = False
+
+    # ----- Section 4.2: cost model -------------------------------------------
+    #: Unit-normalised memory/network cost (Eq. 5) instead of bytes (Eq. 4).
+    normalized_cost_units: bool = False
+    #: Reward distributed execution via the distribution factor (Alg. 2).
+    distribution_factor: bool = False
+
+    # ----- Section 4.3: planner exploration -----------------------------------
+    #: Two-phase (logical then physical) optimisation instead of the
+    #: single-phase mix of all 52 rules.
+    two_phase_optimization: bool = False
+    #: Rule-application budget standing in for Calcite's planning limits.
+    planning_budget: int = 600_000
+    #: Thresholds above which the join-permutation rules are disabled in the
+    #: physical phase (Section 4.3: >3 nested joins or >4 joins).
+    max_nested_joins_for_permutation: int = 3
+    max_joins_for_permutation: int = 4
+
+    # ----- Section 5.1: join execution ----------------------------------------
+    #: Add the broadcast (fully distributed) join distribution mapping.
+    broadcast_join_mapping: bool = False
+    #: Enable the in-memory hash-join operator.
+    hash_join: bool = False
+
+    # ----- Section 5.2: join-condition simplification --------------------------
+    join_condition_simplification: bool = False
+
+    # ----- Section 5.3: multithreaded execution plans ---------------------------
+    #: Variant fragments per fragment (1 = no multithreading; paper's best
+    #: configuration is 2).
+    variant_fragments: int = 1
+
+    # ----- execution limits -----------------------------------------------------
+    #: Simulated-seconds limit per query; the analogue of the paper's 4 h
+    #: wall-clock cap that baseline Q17/Q19/Q21 plans exceeded.  Scaled to
+    #: the mini data sizes: ~10-300x a well-planned query's latency, as the
+    #: paper's 4 h cap was relative to second-to-minute query times.
+    runtime_limit_seconds: float = 15.0
+
+    # ----- defects kept in both systems ------------------------------------------
+    #: TPC-H Q20's planner defect is unresolved in the paper for *all*
+    #: variants; flipping this documents what "fixed" would mean.
+    q20_defect_fixed: bool = False
+    #: SQL VIEW support (unsupported in Ignite+Calcite; TPC-H Q15's
+    #: blocker).  Enabling it is a beyond-the-paper extension.
+    views_supported: bool = False
+
+    def with_(self, **changes) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def is_multithreaded(self) -> bool:
+        return self.variant_fragments > 1
+
+    # ----- presets ---------------------------------------------------------------
+
+    @staticmethod
+    def ic(sites: int = 4, **overrides) -> "SystemConfig":
+        """The baseline system: stock Ignite 2.16 + Calcite."""
+        return SystemConfig(name="IC", sites=sites).with_(**overrides)
+
+    @staticmethod
+    def ic_plus(sites: int = 4, **overrides) -> "SystemConfig":
+        """IC plus Section 4, 5.1 and 5.2 improvements."""
+        return SystemConfig(
+            name="IC+",
+            sites=sites,
+            fixed_join_estimation=True,
+            filter_correlate_rule=True,
+            exchange_penalty_fix=True,
+            normalized_cost_units=True,
+            distribution_factor=True,
+            two_phase_optimization=True,
+            broadcast_join_mapping=True,
+            hash_join=True,
+            join_condition_simplification=True,
+        ).with_(**overrides)
+
+    @staticmethod
+    def ic_plus_m(sites: int = 4, threads: int = 2, **overrides) -> "SystemConfig":
+        """IC+ augmented with multithreaded (variant-fragment) execution."""
+        base = SystemConfig.ic_plus(sites=sites)
+        return base.with_(name="IC+M", variant_fragments=threads, **overrides)
+
+
+#: The three variants evaluated in the paper, keyed by their names.
+PRESETS = {
+    "IC": SystemConfig.ic,
+    "IC+": SystemConfig.ic_plus,
+    "IC+M": SystemConfig.ic_plus_m,
+}

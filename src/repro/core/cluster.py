@@ -1,0 +1,208 @@
+"""The public facade: a simulated Ignite+Calcite cluster.
+
+:class:`IgniteCalciteCluster` wires the whole composable stack together —
+SQL parser, SQL-to-rel conversion, the two-stage planner, fragmentation and
+the simulated distributed execution engine — behind the same surface a
+user of the real system sees: DDL + load, then SQL in, rows out.
+
+Three factory presets mirror the paper's systems under test::
+
+    cluster = IgniteCalciteCluster.ic_plus(sites=8)
+    cluster.create_table(schema, rows)
+    result = cluster.sql("SELECT ...")
+    result.rows, result.simulated_seconds
+
+``try_sql`` never raises for the failure modes the paper catalogues; it
+returns a :class:`QueryOutcome` whose status records *how* a query failed
+(planning, timeout, unsupported), which is what the benchmark harness
+consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import (
+    ExecutionTimeoutError,
+    PlannerDefectError,
+    PlanningTimeoutError,
+    ReproError,
+    UnsupportedSqlError,
+)
+from repro.catalog.schema import TableSchema
+from repro.exec.engine import ExecutionEngine, ExecutionResult
+from repro.exec.physical import PhysNode
+from repro.planner.volcano import QueryPlanner
+from repro.rel.logical import RelNode
+from repro.rel.sql2rel import SqlToRelConverter
+from repro.sql import ast as ast_module
+from repro.sql.parser import parse
+from repro.storage.store import DataStore
+
+
+class QueryStatus(enum.Enum):
+    OK = "ok"
+    UNSUPPORTED = "unsupported"        # e.g. SQL VIEWs (TPC-H Q15)
+    PLANNING_FAILED = "planning_failed"  # budget exhausted (Q2/Q5/Q9 on IC)
+    PLANNER_DEFECT = "planner_defect"    # the unresolved Q20 bug
+    TIMEOUT = "timeout"                  # runtime limit (Q17/Q19/Q21 on IC)
+    ERROR = "error"
+
+
+@dataclass
+class QueryOutcome:
+    """Result of ``try_sql``: either rows or a classified failure."""
+
+    status: QueryStatus
+    result: Optional[ExecutionResult] = None
+    error: Optional[ReproError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is QueryStatus.OK
+
+    @property
+    def simulated_seconds(self) -> float:
+        if self.result is None:
+            raise RuntimeError(f"query did not complete: {self.status.value}")
+        return self.result.simulated_seconds
+
+    @property
+    def rows(self) -> List[Tuple]:
+        if self.result is None:
+            raise RuntimeError(f"query did not complete: {self.status.value}")
+        return self.result.rows
+
+
+class IgniteCalciteCluster:
+    """A simulated Ignite cluster using Calcite-style query planning."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.store = DataStore(
+            site_count=config.sites,
+            partitions_per_table=config.partitions_per_table,
+        )
+        self._engine = ExecutionEngine(self.store, config)
+        #: View name -> defining SELECT AST (views_supported extension).
+        self._views: dict = {}
+
+    # -- presets --------------------------------------------------------------
+
+    @staticmethod
+    def ic(sites: int = 4, **overrides) -> "IgniteCalciteCluster":
+        return IgniteCalciteCluster(SystemConfig.ic(sites, **overrides))
+
+    @staticmethod
+    def ic_plus(sites: int = 4, **overrides) -> "IgniteCalciteCluster":
+        return IgniteCalciteCluster(SystemConfig.ic_plus(sites, **overrides))
+
+    @staticmethod
+    def ic_plus_m(
+        sites: int = 4, threads: int = 2, **overrides
+    ) -> "IgniteCalciteCluster":
+        return IgniteCalciteCluster(
+            SystemConfig.ic_plus_m(sites, threads, **overrides)
+        )
+
+    # -- DDL / load -------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, rows: Sequence[Tuple]) -> None:
+        self.store.create_table(schema, rows)
+
+    def create_index(
+        self, table: str, index_name: str, columns: Sequence[str]
+    ) -> None:
+        self.store.create_index(table, index_name, columns)
+
+    # -- planning --------------------------------------------------------------------
+
+    def parse_to_logical(self, sql: str) -> RelNode:
+        statement = parse(sql, allow_views=self.config.views_supported)
+        if isinstance(statement, ast_module.CreateView):
+            raise UnsupportedSqlError(
+                "CREATE VIEW is DDL; use create_view() or try_sql()"
+            )
+        converter = SqlToRelConverter(
+            self.store.catalog,
+            q20_defect_fixed=self.config.q20_defect_fixed,
+            views=self._views,
+        )
+        return converter.convert(statement)
+
+    def create_view(self, sql: str) -> str:
+        """Register a view from ``CREATE VIEW name AS select`` (extension).
+
+        Requires ``views_supported``; stock Ignite+Calcite rejects views.
+        """
+        statement = parse(sql, allow_views=self.config.views_supported)
+        if not isinstance(statement, ast_module.CreateView):
+            raise UnsupportedSqlError("create_view expects a CREATE VIEW")
+        self._views[statement.name] = statement.select
+        return statement.name
+
+    def plan_sql(self, sql: str) -> PhysNode:
+        logical = self.parse_to_logical(sql)
+        planner = QueryPlanner(self.store, self.config)
+        return planner.plan(logical)
+
+    def explain(self, sql: str) -> str:
+        """The optimised physical plan, rendered for humans."""
+        return self.plan_sql(sql).explain()
+
+    # -- execution ----------------------------------------------------------------------
+
+    def execute_plan(self, plan: PhysNode) -> ExecutionResult:
+        return self._engine.execute(plan)
+
+    def sql(self, sql: str) -> ExecutionResult:
+        """Plan and execute; raises on any failure."""
+        return self.execute_plan(self.plan_sql(sql))
+
+    def try_sql(self, sql: str) -> QueryOutcome:
+        """Plan and execute, classifying the paper's failure modes.
+
+        With ``views_supported`` enabled, a CREATE VIEW statement registers
+        the view and succeeds with an empty result set.
+        """
+        try:
+            statement = parse(sql, allow_views=self.config.views_supported)
+            if isinstance(statement, ast_module.CreateView):
+                self._views[statement.name] = statement.select
+                return QueryOutcome(
+                    QueryStatus.OK, result=_empty_result(self.config)
+                )
+            plan = self.plan_sql(sql)
+        except UnsupportedSqlError as exc:
+            return QueryOutcome(QueryStatus.UNSUPPORTED, error=exc)
+        except PlannerDefectError as exc:
+            return QueryOutcome(QueryStatus.PLANNER_DEFECT, error=exc)
+        except PlanningTimeoutError as exc:
+            return QueryOutcome(QueryStatus.PLANNING_FAILED, error=exc)
+        except ReproError as exc:
+            # User errors (unknown tables/columns, syntax) — not one of the
+            # paper's systemic failure modes, but the harness should not
+            # crash on them either.
+            return QueryOutcome(QueryStatus.ERROR, error=exc)
+        try:
+            result = self.execute_plan(plan)
+        except ExecutionTimeoutError as exc:
+            return QueryOutcome(QueryStatus.TIMEOUT, error=exc)
+        return QueryOutcome(QueryStatus.OK, result=result)
+
+
+def _empty_result(config: SystemConfig) -> ExecutionResult:
+    from repro.cluster.scheduler import TaskGraph
+
+    return ExecutionResult(
+        rows=[],
+        fields=[],
+        task_graph=TaskGraph(),
+        simulated_seconds=0.0,
+        total_units=0.0,
+        network_units=0.0,
+        rows_shipped=0,
+    )

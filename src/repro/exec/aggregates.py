@@ -1,0 +1,140 @@
+"""Aggregate function state machines.
+
+Supports the three execution phases of :class:`repro.exec.physical.AggPhase`:
+
+* ``SINGLE`` — consume input rows, produce final values;
+* ``MAP``    — consume input rows, produce *partial states* (AVG becomes a
+  ``(sum, count)`` pair) that are safe to compute per partition or per
+  variant fragment;
+* ``REDUCE`` — consume partial states, produce final values.
+
+SQL NULL semantics: aggregate arguments that evaluate to ``None`` are
+skipped; SUM/MIN/MAX/AVG over no rows yield ``None``; COUNT yields 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.rel.expr import compile_expr
+from repro.rel.logical import AggCall, AggFunc
+
+
+class AggAccumulator:
+    """One aggregate call's per-group accumulator."""
+
+    __slots__ = ("func", "distinct", "_sum", "_count", "_min", "_max", "_seen")
+
+    def __init__(self, func: AggFunc, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+        self._seen = set() if distinct else None
+
+    # -- input-row phase -------------------------------------------------------
+
+    def add(self, value) -> None:
+        """Consume one argument value (``None`` values are SQL NULLs).
+
+        COUNT(*) calls ``add`` with the sentinel ``True`` for every row.
+        """
+        if value is None:
+            return
+        if self._seen is not None:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        func = self.func
+        if func is AggFunc.COUNT:
+            self._count += 1
+        elif func is AggFunc.SUM or func is AggFunc.AVG:
+            self._sum += value
+            self._count += 1
+        elif func is AggFunc.MIN:
+            if self._min is None or value < self._min:
+                self._min = value
+        else:  # MAX
+            if self._max is None or value > self._max:
+                self._max = value
+
+    # -- partial-state phase -----------------------------------------------------
+
+    def partial(self):
+        """Emit the MAP-phase partial state."""
+        if self.distinct:
+            raise ExecutionError("distinct aggregates cannot be split")
+        func = self.func
+        if func is AggFunc.COUNT:
+            return self._count
+        if func is AggFunc.SUM:
+            return (self._sum, self._count)
+        if func is AggFunc.AVG:
+            return (self._sum, self._count)
+        if func is AggFunc.MIN:
+            return self._min
+        return self._max
+
+    def merge(self, partial) -> None:
+        """Consume a MAP-phase partial state (REDUCE phase)."""
+        func = self.func
+        if func is AggFunc.COUNT:
+            self._count += partial
+        elif func is AggFunc.SUM or func is AggFunc.AVG:
+            if partial is not None:
+                self._sum += partial[0]
+                self._count += partial[1]
+        elif func is AggFunc.MIN:
+            if partial is not None and (self._min is None or partial < self._min):
+                self._min = partial
+        else:
+            if partial is not None and (self._max is None or partial > self._max):
+                self._max = partial
+
+    # -- finalisation -----------------------------------------------------------------
+
+    def result(self):
+        func = self.func
+        if func is AggFunc.COUNT:
+            return self._count
+        if func is AggFunc.SUM:
+            return self._sum if self._count else None
+        if func is AggFunc.AVG:
+            return self._sum / self._count if self._count else None
+        if func is AggFunc.MIN:
+            return self._min
+        return self._max
+
+
+class AggregateEvaluator:
+    """Compiles an aggregate's calls once and evaluates groups."""
+
+    def __init__(self, calls: Sequence[AggCall]):
+        self.calls = tuple(calls)
+        self._arg_fns: List[Optional[Callable]] = [
+            compile_expr(call.arg) if call.arg is not None else None
+            for call in calls
+        ]
+
+    def new_group(self) -> List[AggAccumulator]:
+        return [AggAccumulator(c.func, c.distinct) for c in self.calls]
+
+    def accumulate(self, accumulators: List[AggAccumulator], row: Tuple) -> None:
+        for accumulator, arg_fn in zip(accumulators, self._arg_fns):
+            accumulator.add(arg_fn(row) if arg_fn is not None else True)
+
+    def merge_row(
+        self, accumulators: List[AggAccumulator], partial_row: Tuple, offset: int
+    ) -> None:
+        """REDUCE phase: merge the partial states found at ``offset``."""
+        for index, accumulator in enumerate(accumulators):
+            accumulator.merge(partial_row[offset + index])
+
+    def partials(self, accumulators: List[AggAccumulator]) -> Tuple:
+        return tuple(a.partial() for a in accumulators)
+
+    def results(self, accumulators: List[AggAccumulator]) -> Tuple:
+        return tuple(a.result() for a in accumulators)

@@ -1,0 +1,145 @@
+"""Execution-plan fragmentation (Section 3.2.3, Algorithm 1).
+
+A fully optimised physical tree is converted into *fragments*: subtrees
+that can each execute wholly at one processing site.  Walking the tree
+depth-first, every exchange operator is split into a **sender** (which
+becomes the root of a new fragment) and a **receiver** (which becomes a
+leaf of the current fragment).  The fragment containing the original root
+is the *root fragment* and serves results to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exec.physical import PhysExchange, PhysNode, walk_physical
+from repro.rel.logical import RelNode
+from repro.rel.traits import Collation, Distribution, EMPTY_COLLATION
+
+
+class PhysReceiver(PhysNode):
+    """Execution-only leaf: consumes rows sent by a child fragment.
+
+    If ``collation`` is set, the receiver merge-sorts the inbound sorted
+    streams instead of concatenating them (a merging exchange).
+    """
+
+    def __init__(
+        self,
+        exchange_id: int,
+        fields: Sequence[str],
+        distribution: Distribution,
+        collation: Collation = EMPTY_COLLATION,
+    ):
+        super().__init__((), fields, distribution, collation)
+        self.exchange_id = exchange_id
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysReceiver":
+        clone = PhysReceiver(
+            self.exchange_id, self.fields, self.distribution, self.collation
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return f"PReceiver(#{self.exchange_id})[{self._traits()}]"
+
+    def _explain_self(self) -> str:
+        return f"PhysReceiver[{self._traits()}](exchange=#{self.exchange_id})"
+
+
+@dataclass
+class SenderSpec:
+    """How a fragment's output is shipped to its consumer."""
+
+    exchange_id: int
+    target: Distribution
+    merge_collation: Collation = EMPTY_COLLATION
+
+
+@dataclass
+class Fragment:
+    """One executable subtree plus its shipping specification."""
+
+    fragment_id: int
+    root: PhysNode
+    sender: Optional[SenderSpec]  # None for the root fragment
+    child_ids: List[int] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.sender is None
+
+    def operators(self):
+        return walk_physical(self.root)
+
+    def explain(self) -> str:
+        head = (
+            "RootFragment"
+            if self.is_root
+            else (
+                f"Fragment #{self.fragment_id} -> sender"
+                f"({self.sender.target}, exchange #{self.sender.exchange_id})"
+            )
+        )
+        return f"{head}\n{self.root.explain(indent=1)}"
+
+
+def fragment_plan(root: PhysNode) -> List[Fragment]:
+    """Algorithm 1: split ``root`` into fragments at each exchange.
+
+    Returns fragments in dependency order (children before parents); the
+    root fragment is last.
+    """
+    fragments: List[Fragment] = []
+    next_ids = {"exchange": 0, "fragment": 0}
+
+    def split(node: PhysNode) -> Tuple[PhysNode, List[int]]:
+        """Replace exchanges under ``node``; returns (new tree, child ids)."""
+        child_ids: List[int] = []
+        new_inputs = []
+        for child in node.inputs:
+            new_child, ids = split(child)  # type: ignore[arg-type]
+            new_inputs.append(new_child)
+            child_ids.extend(ids)
+        rebuilt = node.copy(new_inputs) if node.inputs else node
+        if isinstance(rebuilt, PhysExchange):
+            exchange_id = next_ids["exchange"]
+            next_ids["exchange"] += 1
+            sender = SenderSpec(
+                exchange_id=exchange_id,
+                target=rebuilt.distribution,
+                merge_collation=rebuilt.collation,
+            )
+            fragment_id = next_ids["fragment"]
+            next_ids["fragment"] += 1
+            fragments.append(
+                Fragment(
+                    fragment_id=fragment_id,
+                    root=rebuilt.input,
+                    sender=sender,
+                    child_ids=child_ids,
+                )
+            )
+            receiver = PhysReceiver(
+                exchange_id,
+                rebuilt.fields,
+                rebuilt.distribution,
+                rebuilt.collation,
+            )
+            receiver.rows_est = rebuilt.rows_est
+            return receiver, [fragment_id]
+        return rebuilt, child_ids
+
+    new_root, child_ids = split(root)
+    fragment_id = next_ids["fragment"]
+    fragments.append(
+        Fragment(
+            fragment_id=fragment_id,
+            root=new_root,
+            sender=None,
+            child_ids=child_ids,
+        )
+    )
+    return fragments

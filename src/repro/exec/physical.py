@@ -1,0 +1,569 @@
+"""Physical relational operators: the execution-engine side of the plan.
+
+Physical operators are logical operators with *traits* (Section 3.1):
+every node here carries a :class:`Distribution` (Section 3.2.2) and a
+:class:`Collation`.  The physical planner (:mod:`repro.planner.physical`)
+chooses among them by cost; the execution engine
+(:mod:`repro.exec.engine`) interprets them over real partitions.
+
+Each node stores the planner's estimated row count (``rows_est``) and its
+self cost (``self_cost``), mirroring Ignite's per-operator ``getSelfCost``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cost.model import Cost, ZERO_COST
+from repro.rel.expr import Expr
+from repro.rel.logical import AggCall, JoinType, RelNode
+from repro.rel.traits import Collation, Distribution, EMPTY_COLLATION
+
+
+class PhysNode(RelNode):
+    """Base class for physical operators."""
+
+    #: Exchanges set this; Algorithm 2 looks for it.
+    is_exchange = False
+
+    def __init__(
+        self,
+        inputs: Sequence[RelNode],
+        fields: Sequence[str],
+        distribution: Distribution,
+        collation: Collation = EMPTY_COLLATION,
+    ):
+        super().__init__(inputs, fields)
+        self.distribution = distribution
+        self.collation = collation
+        self.rows_est: float = 1.0
+        self.self_cost: Cost = ZERO_COST
+
+    def total_cost(self) -> Cost:
+        total = self.self_cost
+        for child in self.inputs:
+            if isinstance(child, PhysNode):
+                total = total + child.total_cost()
+        return total
+
+    def _traits(self) -> str:
+        parts = [str(self.distribution)]
+        if self.collation.is_sorted:
+            parts.append(str(self.collation))
+        return ", ".join(parts)
+
+    def _explain_self(self) -> str:
+        return (
+            f"{type(self).__name__}[{self._traits()}]"
+            f"(rows~{self.rows_est:.0f})"
+        )
+
+
+class PhysTableScan(PhysNode):
+    """Full scan of a base table's local partitions."""
+
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        fields: Sequence[str],
+        distribution: Distribution,
+        partition_site_count: int,
+    ):
+        super().__init__((), fields, distribution)
+        self.table = table
+        self.alias = alias
+        self.partition_site_count = partition_site_count
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysTableScan":
+        clone = PhysTableScan(
+            self.table, self.alias, self.fields, self.distribution,
+            self.partition_site_count,
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return f"PScan({self.table}/{self.alias})[{self._traits()}]"
+
+    def _explain_self(self) -> str:
+        return (
+            f"PhysTableScan[{self._traits()}](table={self.table}, "
+            f"alias={self.alias}, rows~{self.rows_est:.0f})"
+        )
+
+
+class PhysIndexScan(PhysNode):
+    """Index-ordered scan; provides a collation without a Sort.
+
+    The Q14 anecdote (Section 6.2.1) rides on this: an index scan with the
+    right sort order turns hash aggregation into sort-based aggregation on
+    already-sorted input, eliminating an intermediate sort.
+
+    Optional ``low``/``high`` bounds prune the scan to a key range on the
+    index's leading column (inclusive on both ends unless the
+    corresponding ``*_inclusive`` flag is cleared) — the access path a
+    sargable predicate buys.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        fields: Sequence[str],
+        index_name: str,
+        distribution: Distribution,
+        collation: Collation,
+        partition_site_count: int,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ):
+        super().__init__((), fields, distribution, collation)
+        self.table = table
+        self.alias = alias
+        self.index_name = index_name
+        self.partition_site_count = partition_site_count
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    @property
+    def is_range_scan(self) -> bool:
+        return self.low is not None or self.high is not None
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysIndexScan":
+        clone = PhysIndexScan(
+            self.table, self.alias, self.fields, self.index_name,
+            self.distribution, self.collation, self.partition_site_count,
+            self.low, self.high, self.low_inclusive, self.high_inclusive,
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        bounds = ""
+        if self.is_range_scan:
+            lo = "(" if not self.low_inclusive else "["
+            hi = ")" if not self.high_inclusive else "]"
+            bounds = f" {lo}{self.low!r}..{self.high!r}{hi}"
+        return (
+            f"PIndexScan({self.table}/{self.alias}/{self.index_name}"
+            f"{bounds})[{self._traits()}]"
+        )
+
+
+class PhysFilter(PhysNode):
+    def __init__(self, input_node: PhysNode, condition: Expr):
+        super().__init__(
+            (input_node,), input_node.fields,
+            input_node.distribution, input_node.collation,
+        )
+        self.condition = condition
+
+    @property
+    def input(self) -> PhysNode:
+        return self.inputs[0]  # type: ignore[return-value]
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysFilter":
+        (child,) = inputs
+        clone = PhysFilter(child, self.condition)  # type: ignore[arg-type]
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return f"PFilter({self.condition.digest()}, {self.inputs[0].digest()})"
+
+    def _explain_self(self) -> str:
+        return (
+            f"PhysFilter[{self._traits()}](condition="
+            f"{self.condition.digest()}, rows~{self.rows_est:.0f})"
+        )
+
+
+class PhysProject(PhysNode):
+    def __init__(
+        self, input_node: PhysNode, exprs: Sequence[Expr], names: Sequence[str]
+    ):
+        # A projection may destroy the hash distribution keys / collation.
+        from repro.rel.expr import ColRef
+
+        mapping = {}
+        for out_index, expr in enumerate(exprs):
+            if isinstance(expr, ColRef) and expr.index not in mapping:
+                mapping[expr.index] = out_index
+        dist = input_node.distribution.remap(lambda i: mapping.get(i))
+        collation_keys = []
+        for key, asc in input_node.collation.keys:
+            if key in mapping:
+                collation_keys.append((mapping[key], asc))
+            else:
+                break
+        super().__init__(
+            (input_node,), names,
+            dist if dist is not None else _degraded(input_node),
+            Collation(tuple(collation_keys)),
+        )
+        self.exprs = tuple(exprs)
+
+    @property
+    def input(self) -> PhysNode:
+        return self.inputs[0]  # type: ignore[return-value]
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysProject":
+        (child,) = inputs
+        clone = PhysProject(child, self.exprs, self.fields)  # type: ignore[arg-type]
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        inner = ", ".join(e.digest() for e in self.exprs)
+        return f"PProject([{inner}], {self.inputs[0].digest()})"
+
+
+def _degraded(input_node: PhysNode) -> Distribution:
+    """Distribution after hash keys are projected away.
+
+    The rows still live where they lived, but the hash property is no
+    longer expressible over the output columns.  We conservatively keep a
+    hash marker over a synthetic key so trait satisfaction fails and an
+    exchange is forced when a specific placement is required.
+    """
+    if input_node.distribution.is_hash:
+        return Distribution.hash((999_999,))
+    return input_node.distribution
+
+
+class PhysJoinBase(PhysNode):
+    """Common parts of the three join algorithms."""
+
+    algorithm = "join"
+
+    def __init__(
+        self,
+        left: PhysNode,
+        right: PhysNode,
+        condition: Optional[Expr],
+        join_type: JoinType,
+        distribution: Distribution,
+        collation: Collation = EMPTY_COLLATION,
+    ):
+        if join_type.projects_right:
+            fields = list(left.fields) + list(right.fields)
+        else:
+            fields = list(left.fields)
+        super().__init__((left, right), fields, distribution, collation)
+        self.condition = condition
+        self.join_type = join_type
+
+    @property
+    def left(self) -> PhysNode:
+        return self.inputs[0]  # type: ignore[return-value]
+
+    @property
+    def right(self) -> PhysNode:
+        return self.inputs[1]  # type: ignore[return-value]
+
+    def digest(self) -> str:
+        cond = self.condition.digest() if self.condition else "true"
+        return (
+            f"P{self.algorithm}({self.join_type.value}, {cond}, "
+            f"{self.inputs[0].digest()}, {self.inputs[1].digest()})"
+            f"[{self._traits()}]"
+        )
+
+    def _explain_self(self) -> str:
+        cond = self.condition.digest() if self.condition else "true"
+        return (
+            f"{type(self).__name__}[{self._traits()}]"
+            f"(type={self.join_type.value}, condition={cond}, "
+            f"rows~{self.rows_est:.0f})"
+        )
+
+
+class PhysNestedLoopJoin(PhysJoinBase):
+    """Nested-loop join: the only algorithm for arbitrary conditions."""
+
+    algorithm = "NestedLoopJoin"
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysNestedLoopJoin":
+        left, right = inputs
+        clone = PhysNestedLoopJoin(
+            left, right, self.condition, self.join_type, self.distribution,
+            self.collation,
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+
+class PhysMergeJoin(PhysJoinBase):
+    """Merge join over inputs sorted on the equi keys."""
+
+    algorithm = "MergeJoin"
+
+    def __init__(
+        self,
+        left: PhysNode,
+        right: PhysNode,
+        pairs: Sequence[Tuple[int, int]],
+        residual: Optional[Expr],
+        join_type: JoinType,
+        distribution: Distribution,
+        collation: Collation = EMPTY_COLLATION,
+    ):
+        super().__init__(left, right, residual, join_type, distribution, collation)
+        self.pairs = tuple(pairs)
+        self.residual = residual
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysMergeJoin":
+        left, right = inputs
+        clone = PhysMergeJoin(
+            left, right, self.pairs, self.residual, self.join_type,
+            self.distribution, self.collation,
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return (
+            f"PMergeJoin({self.join_type.value}, {self.pairs}, "
+            f"{self.residual.digest() if self.residual else 'true'}, "
+            f"{self.inputs[0].digest()}, {self.inputs[1].digest()})"
+            f"[{self._traits()}]"
+        )
+
+
+class PhysHashJoin(PhysJoinBase):
+    """The Section 5.1.2 in-memory hash join: build right, probe left."""
+
+    algorithm = "HashJoin"
+
+    def __init__(
+        self,
+        left: PhysNode,
+        right: PhysNode,
+        pairs: Sequence[Tuple[int, int]],
+        residual: Optional[Expr],
+        join_type: JoinType,
+        distribution: Distribution,
+    ):
+        super().__init__(left, right, residual, join_type, distribution)
+        self.pairs = tuple(pairs)
+        self.residual = residual
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysHashJoin":
+        left, right = inputs
+        clone = PhysHashJoin(
+            left, right, self.pairs, self.residual, self.join_type,
+            self.distribution,
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return (
+            f"PHashJoin({self.join_type.value}, {self.pairs}, "
+            f"{self.residual.digest() if self.residual else 'true'}, "
+            f"{self.inputs[0].digest()}, {self.inputs[1].digest()})"
+            f"[{self._traits()}]"
+        )
+
+
+class PhysSort(PhysNode):
+    """Sort (optionally with fetch).  Distribution-preserving: partitions
+    are sorted locally; a merging exchange recombines them in order."""
+
+    def __init__(
+        self,
+        input_node: PhysNode,
+        keys: Sequence[Tuple[int, bool]],
+        fetch: Optional[int] = None,
+    ):
+        super().__init__(
+            (input_node,), input_node.fields,
+            input_node.distribution, Collation(tuple(keys)),
+        )
+        self.keys = tuple(keys)
+        self.fetch = fetch
+
+    @property
+    def input(self) -> PhysNode:
+        return self.inputs[0]  # type: ignore[return-value]
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysSort":
+        (child,) = inputs
+        clone = PhysSort(child, self.keys, self.fetch)  # type: ignore[arg-type]
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return (
+            f"PSort({self.keys}, fetch={self.fetch}, "
+            f"{self.inputs[0].digest()})[{self._traits()}]"
+        )
+
+
+class PhysLimit(PhysNode):
+    def __init__(self, input_node: PhysNode, fetch: int):
+        super().__init__(
+            (input_node,), input_node.fields,
+            input_node.distribution, input_node.collation,
+        )
+        self.fetch = fetch
+
+    @property
+    def input(self) -> PhysNode:
+        return self.inputs[0]  # type: ignore[return-value]
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysLimit":
+        (child,) = inputs
+        clone = PhysLimit(child, self.fetch)  # type: ignore[arg-type]
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return f"PLimit({self.fetch}, {self.inputs[0].digest()})"
+
+
+class AggPhase(enum.Enum):
+    """Which half of a map-reduce aggregation an operator performs.
+
+    ``SINGLE`` computes final results in one pass (a *reduction operator*
+    in the Section 5.3 sense, like ``REDUCE``); ``MAP`` emits partial
+    states and is safe to run in variant fragments.
+    """
+
+    SINGLE = "single"
+    MAP = "map"
+    REDUCE = "reduce"
+
+    @property
+    def is_reduction(self) -> bool:
+        return self in (AggPhase.SINGLE, AggPhase.REDUCE)
+
+
+class PhysAggregateBase(PhysNode):
+    def __init__(
+        self,
+        input_node: PhysNode,
+        group_keys: Sequence[int],
+        agg_calls: Sequence[AggCall],
+        phase: AggPhase,
+        distribution: Distribution,
+        collation: Collation = EMPTY_COLLATION,
+    ):
+        fields = [input_node.fields[k] for k in group_keys]
+        fields += [c.name for c in agg_calls]
+        super().__init__((input_node,), fields, distribution, collation)
+        self.group_keys = tuple(group_keys)
+        self.agg_calls = tuple(agg_calls)
+        self.phase = phase
+
+    @property
+    def input(self) -> PhysNode:
+        return self.inputs[0]  # type: ignore[return-value]
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.phase.is_reduction
+
+    def digest(self) -> str:
+        calls = ", ".join(c.digest() for c in self.agg_calls)
+        return (
+            f"{type(self).__name__}({self.phase.value}, "
+            f"keys={list(self.group_keys)}, [{calls}], "
+            f"{self.inputs[0].digest()})[{self._traits()}]"
+        )
+
+    def _explain_self(self) -> str:
+        calls = ", ".join(c.digest() for c in self.agg_calls)
+        return (
+            f"{type(self).__name__}[{self._traits()}]"
+            f"(phase={self.phase.value}, keys={list(self.group_keys)}, "
+            f"calls=[{calls}], rows~{self.rows_est:.0f})"
+        )
+
+
+class PhysHashAggregate(PhysAggregateBase):
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysHashAggregate":
+        (child,) = inputs
+        clone = PhysHashAggregate(
+            child, self.group_keys, self.agg_calls, self.phase,
+            self.distribution, self.collation,
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+
+class PhysSortAggregate(PhysAggregateBase):
+    """Aggregation over input sorted on the group keys."""
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysSortAggregate":
+        (child,) = inputs
+        clone = PhysSortAggregate(
+            child, self.group_keys, self.agg_calls, self.phase,
+            self.distribution, self.collation,
+        )
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+
+class PhysExchange(PhysNode):
+    """Re-distributes its input (Section 3.2.2).
+
+    During fragmentation (Alg. 1) every exchange splits into a sender (root
+    of a new fragment) and a receiver (leaf of the current fragment).  A
+    ``merge_keys`` collation makes the receiver merge pre-sorted partition
+    streams instead of concatenating them.
+    """
+
+    is_exchange = True
+
+    def __init__(
+        self,
+        input_node: PhysNode,
+        distribution: Distribution,
+        merge_keys: Collation = EMPTY_COLLATION,
+    ):
+        super().__init__(
+            (input_node,), input_node.fields, distribution, merge_keys
+        )
+
+    @property
+    def input(self) -> PhysNode:
+        return self.inputs[0]  # type: ignore[return-value]
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysExchange":
+        (child,) = inputs
+        clone = PhysExchange(child, self.distribution, self.collation)  # type: ignore[arg-type]
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return (
+            f"PExchange({self.distribution}, {self.inputs[0].digest()})"
+            f"[{self._traits()}]"
+        )
+
+
+class PhysValues(PhysNode):
+    def __init__(self, rows: Sequence[Tuple], names: Sequence[str]):
+        super().__init__((), names, Distribution.broadcast())
+        self.rows = tuple(tuple(r) for r in rows)
+
+    def copy(self, inputs: Sequence[RelNode]) -> "PhysValues":
+        clone = PhysValues(self.rows, self.fields)
+        clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
+        return clone
+
+    def digest(self) -> str:
+        return f"PValues({self.rows!r})"
+
+
+def walk_physical(node: RelNode):
+    yield node
+    for child in node.inputs:
+        yield from walk_physical(child)

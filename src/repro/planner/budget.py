@@ -1,0 +1,35 @@
+"""The planner's rule-application budget.
+
+Calcite aborts planning when it exceeds its computation-time or resource
+limits (Section 4.3: "the query planner would exceed either the computation
+time limit or the system resource limit and fail to generate a query
+plan").  The reproduction makes that limit deterministic: every rule
+application and physical-implementation step charges ticks against a
+budget; exhausting it raises :class:`PlanningTimeoutError`.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PlanningTimeoutError
+
+
+class PlanningBudget:
+    """A tick budget shared by all phases of planning one query."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    def charge(self, ticks: int = 1) -> None:
+        self.spent += ticks
+        if self.spent > self.limit:
+            raise PlanningTimeoutError(
+                "planner exceeded its computation budget "
+                f"({self.spent} > {self.limit} ticks)",
+                budget=self.limit,
+                spent=self.spent,
+            )
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.limit - self.spent)

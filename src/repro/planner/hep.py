@@ -1,0 +1,58 @@
+"""The HepPlanner: an exhaustive rewrite engine (Section 3.1).
+
+Consumes a list of rules and continuously applies them, top-down over the
+tree, until the expression is no longer altered by any rule (or the
+iteration guard trips).  Ignite's first optimisation stage runs three
+HepPlanner passes with different rule groups (Section 3.2.1); see
+:func:`repro.planner.rules.stage_one_passes`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import PlannerError
+from repro.planner.budget import PlanningBudget
+from repro.planner.rules import Rule
+from repro.rel.logical import RelNode
+
+#: Guard against non-terminating rule sets.
+MAX_PASSES = 64
+
+
+class HepPlanner:
+    """Applies a rule list to fixpoint."""
+
+    def __init__(self, rules: Sequence[Rule], budget: Optional[PlanningBudget] = None):
+        self.rules: List[Rule] = list(rules)
+        self.budget = budget
+
+    def optimize(self, root: RelNode) -> RelNode:
+        current = root
+        for _ in range(MAX_PASSES):
+            rewritten, changed = self._rewrite(current)
+            if not changed:
+                return current
+            current = rewritten
+        raise PlannerError(
+            f"HepPlanner did not reach a fixpoint in {MAX_PASSES} passes "
+            f"(rules: {[r.name for r in self.rules]})"
+        )
+
+    def _rewrite(self, node: RelNode) -> tuple:
+        """One top-down pass; returns (node, changed)."""
+        for rule in self.rules:
+            if self.budget is not None:
+                self.budget.charge(1)
+            replacement = rule.apply(node)
+            if replacement is not None and replacement.digest() != node.digest():
+                return replacement, True
+        changed = False
+        new_inputs = []
+        for child in node.inputs:
+            new_child, child_changed = self._rewrite(child)
+            new_inputs.append(new_child)
+            changed = changed or child_changed
+        if changed:
+            return node.copy(new_inputs), True
+        return node, False

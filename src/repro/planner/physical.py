@@ -1,0 +1,791 @@
+"""Physical planning: trait-driven implementation of a logical tree.
+
+This is the trait-propagation half of the VolcanoPlanner (Sections 3.2.2,
+5.1): every logical operator is implemented by one or more physical
+operators; join operators additionally choose a *distribution mapping*
+(Table 2, plus the Section 5.1.1 fully-distributed mapping) and a join
+algorithm (nested-loop / merge, plus the Section 5.1.2 hash join).  When a
+child's distribution does not satisfy the requirement (Table 1), an
+exchange enforcer is inserted.
+
+The planner is a memoised dynamic program over (logical digest,
+requirement); each implementation alternative charges one tick against the
+planning budget, which is how single-phase optimisation over large join
+search spaces exhausts Calcite's limits (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import PlannerError
+from repro.cost.model import Cost, CostModel, distribution_factor
+from repro.exec.physical import (
+    AggPhase,
+    PhysExchange,
+    PhysFilter,
+    PhysHashAggregate,
+    PhysHashJoin,
+    PhysIndexScan,
+    PhysLimit,
+    PhysMergeJoin,
+    PhysNestedLoopJoin,
+    PhysNode,
+    PhysProject,
+    PhysSort,
+    PhysSortAggregate,
+    PhysTableScan,
+    PhysValues,
+)
+from repro.planner.budget import PlanningBudget
+from repro.rel import expr as rex
+from repro.rel.expr import ColRef, make_conjunction, shift_refs
+from repro.rel.logical import (
+    JoinType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSort,
+    LogicalTableScan,
+    LogicalValues,
+    RelNode,
+)
+from repro.rel.traits import Collation, Distribution, EMPTY_COLLATION, satisfies
+from repro.stats.estimator import Estimator
+from repro.storage.store import DataStore
+
+
+class ReqKind(enum.Enum):
+    ANY = "any"
+    SINGLE = "single"
+    BROADCAST = "broadcast"
+    HASH = "hash"
+    #: Any hash distribution — "stay partitioned wherever you are".
+    ANY_HASH = "any_hash"
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """A distribution (and optional collation) requirement on a subtree."""
+
+    kind: ReqKind = ReqKind.ANY
+    keys: Tuple[int, ...] = ()
+    collation: Collation = EMPTY_COLLATION
+
+    @staticmethod
+    def any() -> "Requirement":
+        return _ANY_REQ
+
+    @staticmethod
+    def single(collation: Collation = EMPTY_COLLATION) -> "Requirement":
+        return Requirement(ReqKind.SINGLE, (), collation)
+
+    @staticmethod
+    def broadcast() -> "Requirement":
+        return Requirement(ReqKind.BROADCAST)
+
+    @staticmethod
+    def hash(keys: Sequence[int]) -> "Requirement":
+        return Requirement(ReqKind.HASH, tuple(keys))
+
+    @staticmethod
+    def any_hash(fallback_keys: Sequence[int]) -> "Requirement":
+        return Requirement(ReqKind.ANY_HASH, tuple(fallback_keys))
+
+    def distribution_satisfied(self, dist: Distribution) -> bool:
+        if self.kind is ReqKind.ANY:
+            return True
+        if self.kind is ReqKind.ANY_HASH:
+            return dist.is_hash
+        if self.kind is ReqKind.SINGLE:
+            return satisfies(dist, Distribution.single())
+        if self.kind is ReqKind.BROADCAST:
+            return satisfies(dist, Distribution.broadcast())
+        return satisfies(dist, Distribution.hash(self.keys))
+
+    def target_distribution(self) -> Distribution:
+        """The distribution an enforcing exchange should produce."""
+        if self.kind is ReqKind.SINGLE:
+            return Distribution.single()
+        if self.kind is ReqKind.BROADCAST:
+            return Distribution.broadcast()
+        if self.kind is ReqKind.HASH:
+            return Distribution.hash(self.keys)
+        if self.kind is ReqKind.ANY_HASH:
+            return Distribution.hash(self.keys)
+        raise PlannerError("ANY requirement needs no enforcement")
+
+
+_ANY_REQ = Requirement()
+
+
+class PhysicalPlanner:
+    """Implements logical trees as costed physical plans."""
+
+    def __init__(
+        self,
+        store: DataStore,
+        config: SystemConfig,
+        estimator: Estimator,
+        cost_model: CostModel,
+        budget: PlanningBudget,
+    ):
+        self._store = store
+        self._config = config
+        self._est = estimator
+        self._cost = cost_model
+        self._budget = budget
+        self._memo: Dict[Tuple[str, Requirement], PhysNode] = {}
+
+    # -- entry point -------------------------------------------------------------
+
+    def plan(self, root: RelNode) -> PhysNode:
+        """Produce the final physical plan; results flow to a single site."""
+        return self.implement(root, Requirement.single())
+
+    # -- core dispatch -------------------------------------------------------------
+
+    def implement(self, node: RelNode, req: Requirement) -> PhysNode:
+        key = (node.digest(), req)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self._budget.charge(1)
+        if isinstance(node, LogicalTableScan):
+            plan = self._implement_scan(node, req)
+        elif isinstance(node, LogicalFilter):
+            plan = self._implement_filter(node, req)
+        elif isinstance(node, LogicalProject):
+            plan = self._implement_project(node, req)
+        elif isinstance(node, LogicalJoin):
+            plan = self._implement_join(node, req)
+        elif isinstance(node, LogicalAggregate):
+            plan = self._implement_aggregate(node, req)
+        elif isinstance(node, LogicalSort):
+            plan = self._implement_sort(node, req)
+        elif isinstance(node, LogicalValues):
+            plan = self._implement_values(node, req)
+        else:
+            raise PlannerError(f"no physical implementation for {node!r}")
+        self._memo[key] = plan
+        return plan
+
+    # -- enforcers ---------------------------------------------------------------------
+
+    def _enforce(self, plan: PhysNode, req: Requirement) -> PhysNode:
+        """Insert exchange/sort enforcers so ``plan`` satisfies ``req``."""
+        result = plan
+        if not req.distribution_satisfied(result.distribution):
+            target = req.target_distribution()
+            merge = (
+                result.collation
+                if result.collation.satisfies(req.collation)
+                and req.collation.is_sorted
+                else EMPTY_COLLATION
+            )
+            exchange = PhysExchange(result, target, merge)
+            exchange.rows_est = result.rows_est
+            df = distribution_factor(result)
+            exchange.self_cost = self._cost.exchange(
+                result.rows_est,
+                result.width,
+                self._target_site_count(target),
+                df,
+            )
+            result = exchange
+        if req.collation.is_sorted and not result.collation.satisfies(req.collation):
+            sort = PhysSort(result, req.collation.keys)
+            sort.rows_est = result.rows_est
+            sort.self_cost = self._cost.sort(
+                result.rows_est, result.width, distribution_factor(result)
+            )
+            result = sort
+        return result
+
+    def _target_site_count(self, dist: Distribution) -> int:
+        if dist.is_single:
+            return 1
+        return self._store.site_count
+
+    def _cheapest(self, candidates: List[PhysNode]) -> PhysNode:
+        if not candidates:
+            raise PlannerError("no physical candidates produced")
+        return min(candidates, key=lambda p: p.total_cost().value)
+
+    # -- scans --------------------------------------------------------------------------
+
+    def _implement_scan(self, node: LogicalTableScan, req: Requirement) -> PhysNode:
+        data = self._store.table(node.table)
+        schema = data.schema
+        if schema.replicated:
+            native = Distribution.broadcast()
+        else:
+            native = Distribution.hash((schema.affinity_index,))
+        sites = data.partition_site_count()
+        rows = self._est.row_count(node)
+        candidates: List[PhysNode] = []
+
+        table_scan = PhysTableScan(node.table, node.alias, node.fields, native, sites)
+        table_scan.rows_est = rows
+        table_scan.self_cost = self._cost.scan(rows, len(node.fields), sites)
+        candidates.append(self._enforce(table_scan, req))
+
+        if req.collation.is_sorted:
+            index_name = self._matching_index(schema, req.collation)
+            if index_name is not None:
+                index_def = schema.indexes[index_name]
+                keys = tuple(
+                    (schema.column_index(c), True) for c in index_def.columns
+                )
+                index_scan = PhysIndexScan(
+                    node.table, node.alias, node.fields, index_name,
+                    native, Collation(keys), sites,
+                )
+                index_scan.rows_est = rows
+                # Index scans pay a small per-row indirection premium but
+                # deliver order for free.
+                cost = self._cost.scan(rows, len(node.fields), sites)
+                index_scan.self_cost = Cost(cpu=cost.cpu * 1.1)
+                candidates.append(self._enforce(index_scan, req))
+        return self._cheapest(candidates)
+
+    def _matching_index(self, schema, collation: Collation) -> Optional[str]:
+        """An index whose key order provides the requested collation."""
+        wanted = collation.keys
+        if any(not asc for _, asc in wanted):
+            return None
+        for name, index_def in schema.indexes.items():
+            positions = tuple(schema.column_index(c) for c in index_def.columns)
+            if positions[: len(wanted)] == tuple(k for k, _ in wanted):
+                return name
+            if tuple(k for k, _ in wanted)[: len(positions)] == positions:
+                return name
+        return None
+
+    # -- filter / project ------------------------------------------------------------------
+
+    def _implement_filter(self, node: LogicalFilter, req: Requirement) -> PhysNode:
+        # Filters preserve distribution and collation: push the requirement
+        # through so enforcement happens below the (row-reducing) filter
+        # only when that is genuinely necessary; also consider filtering
+        # before exchanging (usually far cheaper).
+        candidates: List[PhysNode] = []
+        for child_req in self._pass_through_reqs(req):
+            child = self.implement(node.input, child_req)
+            filt = PhysFilter(child, node.condition)
+            filt.rows_est = self._est.row_count(node)
+            filt.self_cost = self._cost.filter(
+                child.rows_est, distribution_factor(child)
+            )
+            candidates.append(self._enforce(filt, req))
+        range_scan = self._try_index_range(node, req)
+        if range_scan is not None:
+            candidates.append(range_scan)
+        return self._cheapest(candidates)
+
+    def _try_index_range(
+        self, node: LogicalFilter, req: Requirement
+    ) -> Optional[PhysNode]:
+        """A sargable predicate over a base-table scan becomes a bounded
+        index scan plus a residual filter (index range pushdown)."""
+        scan = node.input
+        if not isinstance(scan, LogicalTableScan):
+            return None
+        data = self._store.table(scan.table)
+        schema = data.schema
+        bounds: Dict[int, Dict[str, Tuple[object, bool]]] = {}
+        conjuncts = rex.split_conjunction(node.condition)
+        bound_exprs: Dict[int, List[object]] = {}
+        for conjunct in conjuncts:
+            sarg = _sargable_bound(conjunct)
+            if sarg is None:
+                continue
+            column, kind, value, inclusive = sarg
+            entry = bounds.setdefault(column, {})
+            # Keep the first bound per side; correctness only needs a
+            # superset, so extra conjuncts simply stay in the residual.
+            if kind == "eq":
+                if "lo" not in entry and "hi" not in entry:
+                    entry["lo"] = entry["hi"] = (value, True)
+                    bound_exprs.setdefault(column, []).append(conjunct)
+            elif kind not in entry:
+                entry[kind] = (value, inclusive)
+                bound_exprs.setdefault(column, []).append(conjunct)
+        for index_name, index_def in schema.indexes.items():
+            leading = schema.column_index(index_def.columns[0])
+            entry = bounds.get(leading)
+            if not entry:
+                continue
+            low, low_inc = entry.get("lo", (None, True))
+            high, high_inc = entry.get("hi", (None, True))
+            if schema.replicated:
+                native = Distribution.broadcast()
+            else:
+                native = Distribution.hash((schema.affinity_index,))
+            keys = tuple(
+                (schema.column_index(c), True) for c in index_def.columns
+            )
+            sites = data.partition_site_count()
+            index_scan = PhysIndexScan(
+                scan.table, scan.alias, scan.fields, index_name,
+                native, Collation(keys), sites,
+                low=low, high=high,
+                low_inclusive=low_inc, high_inclusive=high_inc,
+            )
+            used = bound_exprs.get(leading, [])
+            bound_condition = make_conjunction(list(used))
+            scanned = self._est.row_count(scan) * self._est.selectivity(
+                bound_condition, scan
+            )
+            index_scan.rows_est = max(1.0, scanned)
+            cost = self._cost.scan(index_scan.rows_est, scan.width, sites)
+            index_scan.self_cost = Cost(cpu=cost.cpu * 1.1)
+            residual = make_conjunction(
+                [c for c in conjuncts if not any(c is u for u in used)]
+            )
+            result: PhysNode = index_scan
+            if residual is not None:
+                filt = PhysFilter(index_scan, residual)
+                filt.rows_est = self._est.row_count(node)
+                filt.self_cost = self._cost.filter(
+                    index_scan.rows_est, distribution_factor(index_scan)
+                )
+                result = filt
+            return self._enforce(result, req)
+        return None
+
+    def _pass_through_reqs(self, req: Requirement) -> List[Requirement]:
+        """Requirements to try on a transparent operator's input: the
+        original requirement (enforce below) and ANY (enforce above)."""
+        reqs = [Requirement(req.kind, req.keys, req.collation)]
+        if req.kind is not ReqKind.ANY:
+            reqs.append(Requirement(ReqKind.ANY, (), req.collation))
+        return reqs
+
+    def _implement_project(self, node: LogicalProject, req: Requirement) -> PhysNode:
+        child = self.implement(node.input, Requirement.any())
+        project = PhysProject(child, node.exprs, node.fields)
+        project.rows_est = child.rows_est
+        project.self_cost = self._cost.project(
+            child.rows_est, node.width, distribution_factor(child)
+        )
+        return self._enforce(project, req)
+
+    # -- joins ---------------------------------------------------------------------------------
+
+    def _implement_join(self, node: LogicalJoin, req: Requirement) -> PhysNode:
+        left_width = node.left.width
+        pairs, residual_list = rex.extract_equi_keys(node.condition, left_width)
+        residual = make_conjunction(residual_list)
+        rows = self._est.row_count(node)
+        candidates: List[PhysNode] = []
+
+        for mapping in self._join_mappings(node, pairs):
+            left_req, right_req, out_dist_fn = mapping
+            left_plan = self.implement(node.left, left_req)
+            right_plan = self.implement(node.right, right_req)
+            out_dist = out_dist_fn(left_plan, right_plan)
+
+            # Nested-loop join: always available, any condition.
+            nlj = PhysNestedLoopJoin(
+                left_plan, right_plan, node.condition, node.join_type, out_dist
+            )
+            nlj.rows_est = rows
+            nlj.self_cost = self._cost.nested_loop_join(
+                left_plan.rows_est,
+                right_plan.rows_est,
+                right_plan.width,
+                distribution_factor(left_plan),
+            )
+            candidates.append(self._enforce(nlj, req))
+
+            if pairs:
+                candidates.extend(
+                    self._equi_join_candidates(
+                        node, pairs, residual, rows,
+                        left_plan, right_plan, out_dist, req,
+                    )
+                )
+        self._budget.charge(len(candidates))
+        return self._cheapest(candidates)
+
+    def _equi_join_candidates(
+        self,
+        node: LogicalJoin,
+        pairs: List[Tuple[int, int]],
+        residual,
+        rows: float,
+        left_plan: PhysNode,
+        right_plan: PhysNode,
+        out_dist: Distribution,
+        req: Requirement,
+    ) -> List[PhysNode]:
+        candidates: List[PhysNode] = []
+        left_width = node.left.width
+
+        # Merge join: sort both inputs on the join keys.
+        sorted_left = self._enforce(
+            left_plan,
+            Requirement(
+                ReqKind.ANY, (), Collation(tuple((lk, True) for lk, _ in pairs))
+            ),
+        )
+        sorted_right = self._enforce(
+            right_plan,
+            Requirement(
+                ReqKind.ANY, (), Collation(tuple((rk, True) for _, rk in pairs))
+            ),
+        )
+        merge = PhysMergeJoin(
+            sorted_left, sorted_right, pairs, residual, node.join_type,
+            out_dist, sorted_left.collation,
+        )
+        merge.rows_est = rows
+        merge.self_cost = self._cost.merge_join(
+            sorted_left.rows_est,
+            sorted_right.rows_est,
+            distribution_factor(sorted_left),
+        )
+        candidates.append(self._enforce(merge, req))
+
+        if self._config.hash_join:
+            df_left = distribution_factor(left_plan)
+            df_right = distribution_factor(right_plan)
+            # Section 5.1.3: never build the hash table on shipped data.
+            # When exactly one input is a local partition (df > 1), the
+            # build side must be that input; the commuted H* operator is
+            # how the planner reaches the swapped orientation.
+            standard_allowed = not (df_right == 1.0 and df_left > 1.0)
+            commuted_allowed = (
+                node.join_type is JoinType.INNER
+                and not (df_left == 1.0 and df_right > 1.0)
+            )
+            if standard_allowed:
+                hash_join = PhysHashJoin(
+                    left_plan, right_plan, pairs, residual, node.join_type,
+                    out_dist,
+                )
+                hash_join.rows_est = rows
+                hash_join.self_cost = self._cost.hash_join(
+                    left_plan.rows_est,
+                    right_plan.rows_est,
+                    right_plan.width,
+                    df_right,
+                )
+                candidates.append(self._enforce(hash_join, req))
+
+            if commuted_allowed:
+                # Section 5.1.3's H*: the commuted hash join that builds on
+                # the (possibly cheaper) other side; a projection restores
+                # the output column order.
+                swapped_pairs = [(rk, lk) for lk, rk in pairs]
+                swapped_residual = (
+                    _swap_sides(residual, left_width, node.right.width)
+                    if residual is not None
+                    else None
+                )
+                swapped_dist = _swap_distribution(
+                    out_dist, left_width, node.right.width
+                )
+                star = PhysHashJoin(
+                    right_plan, left_plan, swapped_pairs, swapped_residual,
+                    node.join_type, swapped_dist,
+                )
+                star.rows_est = rows
+                star.self_cost = self._cost.hash_join(
+                    right_plan.rows_est,
+                    left_plan.rows_est,
+                    left_plan.width,
+                    distribution_factor(left_plan),
+                )
+                restore = [
+                    ColRef(node.right.width + i) for i in range(left_width)
+                ] + [ColRef(i) for i in range(node.right.width)]
+                project = PhysProject(star, restore, node.fields)
+                project.rows_est = rows
+                project.self_cost = self._cost.project(
+                    rows, node.width, distribution_factor(star)
+                )
+                candidates.append(self._enforce(project, req))
+        return candidates
+
+    def _join_mappings(self, node: LogicalJoin, pairs):
+        """Distribution mappings for a join (Table 2 + Section 5.1.1).
+
+        Each mapping is ``(left_req, right_req, out_dist_fn)``.
+        """
+        mappings = []
+
+        def single_out(left_plan, right_plan):
+            return Distribution.single()
+
+        def broadcast_out(left_plan, right_plan):
+            return Distribution.broadcast()
+
+        # 1. Single-site join: no restrictions; the most frequent baseline
+        # plan ("all data is shipped to a single processing site").
+        mappings.append(
+            (Requirement.single(), Requirement.single(), single_out)
+        )
+
+        # 2. Fully replicated join.
+        mappings.append(
+            (Requirement.broadcast(), Requirement.broadcast(), broadcast_out)
+        )
+
+        # 3. Co-located hash join on a shared equi key.
+        if pairs and node.join_type is not JoinType.LEFT:
+            left_keys = tuple(lk for lk, _ in pairs)
+            right_keys = tuple(rk for _, rk in pairs)
+
+            def hash_out(left_plan, right_plan, keys=left_keys):
+                return Distribution.hash(keys)
+
+            mappings.append(
+                (
+                    Requirement.hash(left_keys),
+                    Requirement.hash(right_keys),
+                    hash_out,
+                )
+            )
+
+        # 4. Section 5.1.1: the fully distributed join — broadcast the left
+        # relation to every site holding a partition of the right, keeping
+        # the large relation in place.  Inner joins only: for left/semi/
+        # anti joins a broadcast left row would match (or miss) per site
+        # and produce duplicated or fabricated output rows.
+        if self._config.broadcast_join_mapping:
+            left_width = node.left.width
+
+            if node.join_type is JoinType.INNER:
+
+                def dist_out(left_plan, right_plan, width=left_width):
+                    remapped = right_plan.distribution.remap(
+                        lambda i: i + width
+                    )
+                    if remapped is not None:
+                        return remapped
+                    return Distribution.hash((999_998,))
+
+                fallback = tuple(rk for _, rk in pairs) or (0,)
+                mappings.append(
+                    (
+                        Requirement.broadcast(),
+                        Requirement.any_hash(fallback),
+                        dist_out,
+                    )
+                )
+
+            # 4b. The mirrored mapping: the left relation stays partitioned
+            # and the right is replicated to its sites.  Correct for every
+            # join type (each left partition sees the full right input) and
+            # the shape that lets semi/anti joins and left joins run
+            # distributed.
+            def left_part_out(left_plan, right_plan):
+                if left_plan.distribution.is_hash:
+                    return left_plan.distribution
+                return Distribution.hash((999_997,))
+
+            fallback_left = tuple(lk for lk, _ in pairs) or (0,)
+            mappings.append(
+                (
+                    Requirement.any_hash(fallback_left),
+                    Requirement.broadcast(),
+                    left_part_out,
+                )
+            )
+        return mappings
+
+    # -- aggregates ------------------------------------------------------------------------------
+
+    def _implement_aggregate(self, node: LogicalAggregate, req: Requirement) -> PhysNode:
+        splittable = all(not c.distinct for c in node.agg_calls)
+        groups = self._est.row_count(node)
+        candidates: List[PhysNode] = []
+
+        # (a) Single-phase: gather, then aggregate (a reduction operator).
+        child_single = self.implement(node.input, Requirement.single())
+        single = PhysHashAggregate(
+            child_single, node.group_keys, node.agg_calls,
+            AggPhase.SINGLE, Distribution.single(),
+        )
+        single.rows_est = groups
+        single.self_cost = self._cost.hash_aggregate(
+            child_single.rows_est, groups, node.width,
+            distribution_factor(child_single),
+        )
+        candidates.append(self._enforce(single, req))
+
+        # (b) Two-phase map-reduce when every call can be split.
+        if splittable:
+            child_any = self.implement(node.input, Requirement.any())
+            if not child_any.distribution.is_single:
+                map_groups = min(
+                    child_any.rows_est,
+                    groups * float(self._store.site_count),
+                )
+                map_agg = PhysHashAggregate(
+                    child_any, node.group_keys, node.agg_calls,
+                    AggPhase.MAP, child_any.distribution,
+                )
+                map_agg.rows_est = map_groups
+                map_agg.self_cost = self._cost.hash_aggregate(
+                    child_any.rows_est, map_groups, node.width,
+                    distribution_factor(child_any),
+                )
+                gather = PhysExchange(map_agg, Distribution.single())
+                gather.rows_est = map_groups
+                gather.self_cost = self._cost.exchange(
+                    map_groups, node.width, 1, distribution_factor(map_agg)
+                )
+                reduce_agg = PhysHashAggregate(
+                    gather, tuple(range(len(node.group_keys))), node.agg_calls,
+                    AggPhase.REDUCE, Distribution.single(),
+                )
+                reduce_agg.rows_est = groups
+                reduce_agg.self_cost = self._cost.hash_aggregate(
+                    map_groups, groups, node.width, 1.0
+                )
+                candidates.append(self._enforce(reduce_agg, req))
+
+        # (c) Sort-based aggregation over input sorted on the group keys
+        # (the Q14 plan shape).
+        if node.group_keys:
+            collation = Collation(tuple((k, True) for k in node.group_keys))
+            child_sorted = self.implement(
+                node.input, Requirement.single(collation)
+            )
+            if child_sorted.collation.satisfies(collation):
+                sort_agg = PhysSortAggregate(
+                    child_sorted, node.group_keys, node.agg_calls,
+                    AggPhase.SINGLE, Distribution.single(),
+                    Collation(
+                        tuple(
+                            (i, True) for i in range(len(node.group_keys))
+                        )
+                    ),
+                )
+                sort_agg.rows_est = groups
+                sort_agg.self_cost = self._cost.sort_aggregate(
+                    child_sorted.rows_est, groups, node.width, 1.0
+                )
+                candidates.append(self._enforce(sort_agg, req))
+        self._budget.charge(len(candidates))
+        return self._cheapest(candidates)
+
+    # -- sort / limit -------------------------------------------------------------------------------
+
+    def _implement_sort(self, node: LogicalSort, req: Requirement) -> PhysNode:
+        candidates: List[PhysNode] = []
+        collation = Collation(tuple(node.sort_keys))
+
+        # (a) Gather first, sort at one site.
+        child_single = self.implement(node.input, Requirement.single())
+        if node.sort_keys:
+            sorted_single: PhysNode = PhysSort(
+                child_single, node.sort_keys, node.fetch
+            )
+            sorted_single.rows_est = (
+                min(child_single.rows_est, node.fetch)
+                if node.fetch is not None
+                else child_single.rows_est
+            )
+            sorted_single.self_cost = self._cost.sort(
+                child_single.rows_est, node.width, 1.0
+            )
+        elif node.fetch is not None:
+            sorted_single = PhysLimit(child_single, node.fetch)
+            sorted_single.rows_est = min(child_single.rows_est, node.fetch)
+            sorted_single.self_cost = self._cost.limit(sorted_single.rows_est)
+        else:
+            sorted_single = child_single
+        candidates.append(self._enforce(sorted_single, req))
+
+        # (b) Partially distributed sort: sort each partition locally and
+        # merge the sorted streams through a merging exchange.
+        if node.sort_keys:
+            child_any = self.implement(node.input, Requirement.any())
+            if not child_any.distribution.is_single:
+                local_sort = PhysSort(child_any, node.sort_keys, node.fetch)
+                local_sort.rows_est = child_any.rows_est
+                local_sort.self_cost = self._cost.sort(
+                    child_any.rows_est, node.width,
+                    distribution_factor(child_any),
+                )
+                merge = PhysExchange(
+                    local_sort, Distribution.single(), collation
+                )
+                merge.rows_est = local_sort.rows_est
+                merge.self_cost = self._cost.exchange(
+                    local_sort.rows_est, node.width, 1,
+                    distribution_factor(local_sort),
+                )
+                result: PhysNode = merge
+                if node.fetch is not None:
+                    limit = PhysLimit(merge, node.fetch)
+                    limit.rows_est = min(merge.rows_est, node.fetch)
+                    limit.self_cost = self._cost.limit(limit.rows_est)
+                    result = limit
+                candidates.append(self._enforce(result, req))
+        return self._cheapest(candidates)
+
+    def _implement_values(self, node: LogicalValues, req: Requirement) -> PhysNode:
+        values = PhysValues(node.rows, node.fields)
+        values.rows_est = float(len(node.rows))
+        values.self_cost = self._cost.values(values.rows_est)
+        return self._enforce(values, req)
+
+
+def _sargable_bound(conjunct):
+    """``(column, "lo"|"hi", value, inclusive)`` for index-usable conjuncts.
+
+    Equality contributes both bounds via two calls ("lo" here; the "hi"
+    side is added by treating ``=`` as a closed interval below).
+    """
+    from repro.rel.expr import BinaryOp, ColRef, Literal
+
+    if not isinstance(conjunct, BinaryOp):
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(left, ColRef) and isinstance(right, Literal):
+        column, value = left.index, right.value
+    elif isinstance(right, ColRef) and isinstance(left, Literal):
+        column, value = right.index, left.value
+        op = rex.MIRRORED.get(op, op)
+    else:
+        return None
+    if value is None:
+        return None
+    if op in (">", ">="):
+        return (column, "lo", value, op == ">=")
+    if op in ("<", "<="):
+        return (column, "hi", value, op == "<=")
+    if op == "=":
+        return (column, "eq", value, True)
+    return None
+
+
+def _swap_sides(expr, left_width: int, right_width: int):
+    """Rewrite a combined-row expression for swapped join inputs."""
+
+    def mapping(index: int) -> int:
+        if index < left_width:
+            return index + right_width
+        return index - left_width
+
+    return rex.remap_refs(expr, mapping)
+
+
+def _swap_distribution(
+    dist: Distribution, left_width: int, right_width: int
+) -> Distribution:
+    if not dist.is_hash:
+        return dist
+    remapped = dist.remap(
+        lambda i: i + right_width if i < left_width else i - left_width
+    )
+    return remapped if remapped is not None else dist

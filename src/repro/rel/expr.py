@@ -1,0 +1,602 @@
+"""Row expressions ("rex"): the expression language of relational operators.
+
+These are the resolved, positional expressions that live inside Filter,
+Project and Join operators after SQL-to-rel conversion — the analogue of
+Calcite's ``RexNode``.  Column references are positional indexes into the
+operator's input row (for joins, into the concatenation of left and right
+rows), which makes rewriting under operator reordering a pure index-remap.
+
+The module also carries the analysis utilities the planner rules need:
+conjunction splitting, referenced-column extraction, input-side
+classification for join conditions, equi-key extraction, index shifting,
+and the common-conjunct factoring of Section 5.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ValidationError
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all row expressions.  Immutable."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def with_children(self, children: Sequence["Expr"]) -> "Expr":
+        if children:
+            raise ValidationError(f"{type(self).__name__} takes no children")
+        return self
+
+    def digest(self) -> str:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.digest() == other.digest()
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
+
+    def __repr__(self) -> str:
+        return self.digest()
+
+
+class ColRef(Expr):
+    """Reference to input column ``index``; ``name`` is for display only."""
+
+    __slots__ = ("index", "name")
+
+    def __init__(self, index: int, name: str = ""):
+        self.index = index
+        self.name = name or f"$%d" % index
+
+    def digest(self) -> str:
+        return f"${self.index}"
+
+
+class Literal(Expr):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def digest(self) -> str:
+        return repr(self.value)
+
+
+def _null_safe(fn: Callable) -> Callable:
+    """SQL semantics: any comparison/arithmetic with NULL yields NULL."""
+
+    def wrapped(a, b):
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+
+    return wrapped
+
+
+#: Binary operators with their (null-propagating) evaluation functions.
+_BINARY_OPS: Dict[str, Callable] = {
+    "=": _null_safe(lambda a, b: a == b),
+    "<>": _null_safe(lambda a, b: a != b),
+    "<": _null_safe(lambda a, b: a < b),
+    "<=": _null_safe(lambda a, b: a <= b),
+    ">": _null_safe(lambda a, b: a > b),
+    ">=": _null_safe(lambda a, b: a >= b),
+    "+": _null_safe(lambda a, b: a + b),
+    "-": _null_safe(lambda a, b: a - b),
+    "*": _null_safe(lambda a, b: a * b),
+    "/": _null_safe(lambda a, b: a / b),
+    # Approximate three-valued logic: Python's short-circuit operators
+    # treat None as false, which matches WHERE-clause filtering.
+    "AND": lambda a, b: a and b,
+    "OR": lambda a, b: a or b,
+}
+
+COMPARISONS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+#: Mirror image of each comparison, for normalising ``lit op col``.
+MIRRORED = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class BinaryOp(Expr):
+    """A binary operation: comparison, arithmetic or AND/OR."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _BINARY_OPS:
+            raise ValidationError(f"unknown binary operator {op}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Expr]) -> "BinaryOp":
+        left, right = children
+        return BinaryOp(self.op, left, right)
+
+    def digest(self) -> str:
+        return f"({self.left.digest()} {self.op} {self.right.digest()})"
+
+
+class UnaryOp(Expr):
+    """NOT or arithmetic negation."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        if op not in ("NOT", "-"):
+            raise ValidationError(f"unknown unary operator {op}")
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[Expr]) -> "UnaryOp":
+        (operand,) = children
+        return UnaryOp(self.op, operand)
+
+    def digest(self) -> str:
+        return f"({self.op} {self.operand.digest()})"
+
+
+class FuncCall(Expr):
+    """A scalar function call (EXTRACT_YEAR, SUBSTRING, ...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        self.name = name.upper()
+        if self.name not in SCALAR_FUNCTIONS:
+            raise ValidationError(f"unknown function {name}")
+        self.args = tuple(args)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def with_children(self, children: Sequence[Expr]) -> "FuncCall":
+        return FuncCall(self.name, children)
+
+    def digest(self) -> str:
+        inner = ", ".join(a.digest() for a in self.args)
+        return f"{self.name}({inner})"
+
+
+class CaseExpr(Expr):
+    """CASE WHEN c1 THEN v1 ... ELSE e END."""
+
+    __slots__ = ("whens", "default")
+
+    def __init__(self, whens: Sequence[Tuple[Expr, Expr]], default: Expr):
+        self.whens = tuple(whens)
+        self.default = default
+
+    def children(self) -> Tuple[Expr, ...]:
+        flat: List[Expr] = []
+        for cond, value in self.whens:
+            flat.append(cond)
+            flat.append(value)
+        flat.append(self.default)
+        return tuple(flat)
+
+    def with_children(self, children: Sequence[Expr]) -> "CaseExpr":
+        children = list(children)
+        default = children.pop()
+        pairs = list(zip(children[0::2], children[1::2]))
+        return CaseExpr(pairs, default)
+
+    def digest(self) -> str:
+        parts = " ".join(
+            f"WHEN {c.digest()} THEN {v.digest()}" for c, v in self.whens
+        )
+        return f"CASE {parts} ELSE {self.default.digest()} END"
+
+
+class InList(Expr):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    __slots__ = ("operand", "values", "negated")
+
+    def __init__(self, operand: Expr, values: Sequence[object], negated: bool = False):
+        self.operand = operand
+        self.values = frozenset(values)
+        self.negated = negated
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[Expr]) -> "InList":
+        (operand,) = children
+        return InList(operand, self.values, self.negated)
+
+    def digest(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.digest()} {op} {sorted(map(repr, self.values))})"
+
+
+class LikeExpr(Expr):
+    """SQL LIKE with ``%`` and ``_`` wildcards."""
+
+    __slots__ = ("operand", "pattern", "negated", "_matcher")
+
+    def __init__(self, operand: Expr, pattern: str, negated: bool = False):
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self._matcher = _compile_like(pattern)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[Expr]) -> "LikeExpr":
+        (operand,) = children
+        return LikeExpr(operand, self.pattern, self.negated)
+
+    def digest(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.digest()} {op} {self.pattern!r})"
+
+
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expr, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[Expr]) -> "IsNull":
+        (operand,) = children
+        return IsNull(operand, self.negated)
+
+    def digest(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.digest()} {op})"
+
+
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+# ---------------------------------------------------------------------------
+# Scalar function implementations
+# ---------------------------------------------------------------------------
+
+
+def _extract_year(value: str) -> int:
+    return int(value[:4])
+
+
+def _extract_month(value: str) -> int:
+    return int(value[5:7])
+
+
+def _substring(value: str, start: int, length: Optional[int] = None) -> str:
+    begin = int(start) - 1
+    if length is None:
+        return value[begin:]
+    return value[begin : begin + int(length)]
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable] = {
+    "EXTRACT_YEAR": _extract_year,
+    "EXTRACT_MONTH": _extract_month,
+    "SUBSTRING": _substring,
+    "UPPER": lambda s: s.upper(),
+    "LOWER": lambda s: s.lower(),
+    "ABS": abs,
+    "COALESCE": lambda *args: next((a for a in args if a is not None), None),
+}
+
+
+def _compile_like(pattern: str) -> Callable[[str], bool]:
+    """Compile a LIKE pattern into a predicate.
+
+    TPC-H only uses ``%``-style patterns; ``_`` is supported via regex
+    fallback.
+    """
+    if "_" not in pattern:
+        pieces = pattern.split("%")
+        if len(pieces) == 1:
+            literal = pieces[0]
+            return lambda s: s == literal
+        prefix, suffix = pieces[0], pieces[-1]
+        middles = [p for p in pieces[1:-1] if p]
+
+        def match(s: str, prefix=prefix, suffix=suffix, middles=middles) -> bool:
+            if prefix and not s.startswith(prefix):
+                return False
+            if suffix and not s.endswith(suffix):
+                return False
+            pos = len(prefix)
+            limit = len(s) - len(suffix)
+            for mid in middles:
+                found = s.find(mid, pos, limit)
+                if found < 0:
+                    return False
+                pos = found + len(mid)
+            return pos <= limit
+
+        return match
+
+    import re
+
+    regex = re.compile(
+        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$",
+        re.DOTALL,
+    )
+    return lambda s: bool(regex.match(s))
+
+
+# ---------------------------------------------------------------------------
+# Compilation to Python callables
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(expr: Expr) -> Callable[[Tuple], object]:
+    """Compile an expression tree into a fast ``row -> value`` callable."""
+    if isinstance(expr, ColRef):
+        index = expr.index
+        return lambda row: row[index]
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, BinaryOp):
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        if expr.op == "AND":
+            return lambda row: left(row) and right(row)
+        if expr.op == "OR":
+            return lambda row: left(row) or right(row)
+        fn = _BINARY_OPS[expr.op]
+        return lambda row: fn(left(row), right(row))
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr(expr.operand)
+        if expr.op == "NOT":
+            return lambda row: None if (v := operand(row)) is None else not v
+        return lambda row: None if (v := operand(row)) is None else -v
+    if isinstance(expr, FuncCall):
+        fn = SCALAR_FUNCTIONS[expr.name]
+        args = [compile_expr(a) for a in expr.args]
+        if expr.name == "COALESCE":
+            return lambda row: fn(*[a(row) for a in args])
+        if len(args) == 1:
+            arg0 = args[0]
+            return lambda row: None if (v := arg0(row)) is None else fn(v)
+
+        def call(row):
+            values = [a(row) for a in args]
+            if any(v is None for v in values):
+                return None
+            return fn(*values)
+
+        return call
+    if isinstance(expr, CaseExpr):
+        whens = [(compile_expr(c), compile_expr(v)) for c, v in expr.whens]
+        default = compile_expr(expr.default)
+
+        def case(row):
+            for cond, value in whens:
+                if cond(row):
+                    return value(row)
+            return default(row)
+
+        return case
+    if isinstance(expr, InList):
+        operand = compile_expr(expr.operand)
+        values = expr.values
+        if expr.negated:
+            return lambda row: operand(row) not in values
+        return lambda row: operand(row) in values
+    if isinstance(expr, LikeExpr):
+        operand = compile_expr(expr.operand)
+        matcher = expr._matcher
+        if expr.negated:
+            return lambda row: (
+                None if (v := operand(row)) is None else not matcher(v)
+            )
+        return lambda row: (
+            None if (v := operand(row)) is None else matcher(v)
+        )
+    if isinstance(expr, IsNull):
+        operand = compile_expr(expr.operand)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    raise ValidationError(f"cannot compile expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Analysis utilities
+# ---------------------------------------------------------------------------
+
+
+def references(expr: Expr) -> FrozenSet[int]:
+    """All input column indexes referenced by ``expr``."""
+    found: set = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ColRef):
+            found.add(node.index)
+        else:
+            stack.extend(node.children())
+    return frozenset(found)
+
+
+def split_conjunction(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjunction(expr.left) + split_conjunction(expr.right)
+    if isinstance(expr, Literal) and expr.value is True:
+        return []
+    return [expr]
+
+
+def split_disjunction(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten nested ORs into a list of disjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "OR":
+        return split_disjunction(expr.left) + split_disjunction(expr.right)
+    return [expr]
+
+
+def make_conjunction(conjuncts: Sequence[Optional[Expr]]) -> Optional[Expr]:
+    """Combine conjuncts back into a single AND tree (None if empty).
+
+    ``None`` entries (absent conditions, e.g. a cross join's) are skipped.
+    """
+    conjuncts = [
+        c
+        for c in conjuncts
+        if c is not None and not (isinstance(c, Literal) and c.value is True)
+    ]
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = BinaryOp("AND", result, conjunct)
+    return result
+
+
+def make_disjunction(disjuncts: Sequence[Expr]) -> Optional[Expr]:
+    if not disjuncts:
+        return None
+    result = disjuncts[0]
+    for disjunct in disjuncts[1:]:
+        result = BinaryOp("OR", result, disjunct)
+    return result
+
+
+def shift_refs(expr: Expr, offset: int) -> Expr:
+    """Shift every column reference by ``offset``."""
+    if offset == 0:
+        return expr
+    return remap_refs(expr, lambda i: i + offset)
+
+
+def remap_refs(expr: Expr, mapping: Callable[[int], int]) -> Expr:
+    """Rewrite column indexes through ``mapping``."""
+    if isinstance(expr, ColRef):
+        return ColRef(mapping(expr.index), expr.name)
+    children = expr.children()
+    if not children:
+        return expr
+    return expr.with_children([remap_refs(c, mapping) for c in children])
+
+
+def is_literal_condition(expr: Expr, left_width: int) -> Optional[str]:
+    """Classify a join conjunct by the input sides it touches.
+
+    Returns ``"left"`` / ``"right"`` if the conjunct references only the
+    corresponding join input, ``"both"`` if it spans the join, and
+    ``"none"`` for constant conditions.
+    """
+    refs = references(expr)
+    if not refs:
+        return "none"
+    left = any(i < left_width for i in refs)
+    right = any(i >= left_width for i in refs)
+    if left and right:
+        return "both"
+    return "left" if left else "right"
+
+
+def extract_equi_keys(
+    condition: Optional[Expr], left_width: int
+) -> Tuple[List[Tuple[int, int]], List[Expr]]:
+    """Split a join condition into equi-join key pairs and a remainder.
+
+    Returns ``(pairs, remainder)`` where each pair is ``(left_index,
+    right_index)`` with the right index relative to the right input, and
+    remainder is the list of non-equi conjuncts.
+    """
+    pairs: List[Tuple[int, int]] = []
+    remainder: List[Expr] = []
+    for conjunct in split_conjunction(condition):
+        matched = False
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, ColRef) and isinstance(right, ColRef):
+                lo, hi = left.index, right.index
+                if lo > hi:
+                    lo, hi = hi, lo
+                if lo < left_width <= hi:
+                    pairs.append((lo, hi - left_width))
+                    matched = True
+        if not matched:
+            remainder.append(conjunct)
+    return pairs, remainder
+
+
+def factor_common_conjuncts(expr: Expr) -> Optional[Expr]:
+    """Section 5.2: pull conjuncts common to every OR branch outside the OR.
+
+    ``(c1 AND c2) OR (c1 AND c3)`` becomes ``c1 AND (c2 OR c3)``.  Returns
+    the rewritten expression, or None if no common conjunct exists.
+    """
+    disjuncts = split_disjunction(expr)
+    if len(disjuncts) < 2:
+        return None
+    branch_conjuncts = [split_conjunction(d) for d in disjuncts]
+    first = branch_conjuncts[0]
+    common: List[Expr] = []
+    for candidate in first:
+        if all(
+            any(candidate == other for other in branch)
+            for branch in branch_conjuncts[1:]
+        ):
+            common.append(candidate)
+    if not common:
+        return None
+    residual_branches: List[Expr] = []
+    for branch in branch_conjuncts:
+        residual = [c for c in branch if not any(c == g for g in common)]
+        residual_branches.append(make_conjunction(residual) or TRUE)
+    pieces = list(common)
+    # Any branch reduced to TRUE makes the whole OR vacuous.
+    if not any(
+        isinstance(b, Literal) and b.value is True for b in residual_branches
+    ):
+        residual_or = make_disjunction(residual_branches)
+        if residual_or is not None:
+            pieces.append(residual_or)
+    return make_conjunction(pieces)
+
+
+def estimate_selectivity_shape(expr: Expr) -> str:
+    """Rough shape classification used by selectivity estimation."""
+    if isinstance(expr, BinaryOp) and expr.op in COMPARISONS:
+        return "equality" if expr.op == "=" else "range"
+    if isinstance(expr, (InList,)):
+        return "in"
+    if isinstance(expr, LikeExpr):
+        return "like"
+    if isinstance(expr, BinaryOp) and expr.op == "OR":
+        return "or"
+    if isinstance(expr, IsNull):
+        return "null"
+    return "other"

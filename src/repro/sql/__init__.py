@@ -1,0 +1,5 @@
+"""SQL front end: lexer, AST and parser."""
+
+from repro.sql.parser import parse
+
+__all__ = ["parse"]

@@ -1,0 +1,15 @@
+"""Statistics and cardinality estimation (the Calcite metadata providers)."""
+
+from repro.stats.estimator import (
+    LEGACY_SMALL_INPUT,
+    Estimator,
+    legacy_join_size,
+    swami_schiefer_join_size,
+)
+
+__all__ = [
+    "LEGACY_SMALL_INPUT",
+    "Estimator",
+    "legacy_join_size",
+    "swami_schiefer_join_size",
+]

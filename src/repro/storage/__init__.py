@@ -1,0 +1,12 @@
+"""In-memory partitioned storage: tables, partitions, indexes."""
+
+from repro.storage.store import DataStore
+from repro.storage.table import PartitionIndex, Row, TableData, affinity_partition
+
+__all__ = [
+    "DataStore",
+    "PartitionIndex",
+    "Row",
+    "TableData",
+    "affinity_partition",
+]

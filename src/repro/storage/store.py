@@ -1,0 +1,75 @@
+"""The cluster-wide data store: catalog + table data.
+
+One :class:`DataStore` backs one simulated cluster.  It owns the catalog
+(schemas) and the loaded table data (partitions, indexes, statistics) and is
+the single authority the planner's metadata providers and the execution
+engine's scans consult.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.catalog.schema import Catalog, TableSchema
+from repro.common.errors import StorageError
+from repro.storage.table import Row, TableData
+
+
+class DataStore:
+    """All data stored by one simulated Ignite cluster."""
+
+    def __init__(self, site_count: int, partitions_per_table: int = 8):
+        if site_count < 1:
+            raise StorageError("site_count must be >= 1")
+        self.site_count = site_count
+        self.partitions_per_table = partitions_per_table
+        self.catalog = Catalog()
+        self._data: Dict[str, TableData] = {}
+
+    def create_table(
+        self, schema: TableSchema, rows: Sequence[Row]
+    ) -> TableData:
+        """Register a schema and load its rows (DDL + bulk load)."""
+        self.catalog.register(schema)
+        data = TableData(
+            schema,
+            rows,
+            partition_count=self.partitions_per_table,
+            site_count=self.site_count,
+        )
+        self._data[schema.name] = data
+        return data
+
+    def table(self, name: str) -> TableData:
+        try:
+            return self._data[name.lower()]
+        except KeyError:
+            raise StorageError(f"no data for table {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._data
+
+    def table_names(self) -> List[str]:
+        return sorted(self._data)
+
+    def create_index(
+        self, table: str, index_name: str, columns: Sequence[str]
+    ) -> None:
+        self.table(table).add_index(index_name, columns)
+
+    def row_count(self, table: str) -> int:
+        return self.table(table).row_count
+
+    def total_rows(self) -> int:
+        return sum(t.row_count for t in self._data.values())
+
+    def find_index_on(
+        self, table: str, leading_column: str
+    ) -> Optional[str]:
+        """Name of an index whose leading key is ``leading_column``."""
+        data = self.table(table)
+        target = leading_column.lower()
+        for name, index_def in data.schema.indexes.items():
+            if index_def.columns[0] == target:
+                return name
+        return None

@@ -1,0 +1,6 @@
+"""Pytest path setup so tests can import the shared helpers module."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,215 @@
+"""Shared test utilities.
+
+``naive_execute`` is an independent, deliberately simple interpreter for
+*logical* plans — scans read whole tables, joins are nested loops, no
+distribution, no optimisation.  It serves as the correctness oracle for
+differential tests: whatever the optimised, fragmented, distributed engine
+returns must match what this ten-line-per-operator evaluator returns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import ColumnType
+from repro.exec.aggregates import AggregateEvaluator
+from repro.exec.operators import sort_rows
+from repro.rel.expr import compile_expr
+from repro.rel.logical import (
+    JoinType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSort,
+    LogicalTableScan,
+    LogicalValues,
+    RelNode,
+)
+from repro.storage.store import DataStore
+
+
+def naive_execute(node: RelNode, store: DataStore) -> List[Tuple]:
+    """Evaluate a logical plan with zero cleverness."""
+    if isinstance(node, LogicalTableScan):
+        data = store.table(node.table)
+        rows: List[Tuple] = []
+        for partition in data.partitions:
+            rows.extend(partition)
+        return rows
+    if isinstance(node, LogicalValues):
+        return list(node.rows)
+    if isinstance(node, LogicalFilter):
+        rows = naive_execute(node.input, store)
+        predicate = compile_expr(node.condition)
+        return [r for r in rows if predicate(r)]
+    if isinstance(node, LogicalProject):
+        rows = naive_execute(node.input, store)
+        fns = [compile_expr(e) for e in node.exprs]
+        return [tuple(fn(r) for fn in fns) for r in rows]
+    if isinstance(node, LogicalJoin):
+        left = naive_execute(node.left, store)
+        right = naive_execute(node.right, store)
+        predicate = (
+            compile_expr(node.condition) if node.condition is not None else None
+        )
+        out: List[Tuple] = []
+        pad = (None,) * node.right.width
+        for lrow in left:
+            matched = False
+            for rrow in right:
+                combined = lrow + rrow
+                if predicate is None or predicate(combined):
+                    matched = True
+                    if node.join_type.projects_right:
+                        out.append(combined)
+                    else:
+                        break
+            if node.join_type is JoinType.SEMI and matched:
+                out.append(lrow)
+            elif node.join_type is JoinType.ANTI and not matched:
+                out.append(lrow)
+            elif node.join_type is JoinType.LEFT and not matched:
+                out.append(lrow + pad)
+        return out
+    if isinstance(node, LogicalAggregate):
+        rows = naive_execute(node.input, store)
+        evaluator = AggregateEvaluator(node.agg_calls)
+        groups: Dict[Tuple, list] = {}
+        for row in rows:
+            key = tuple(row[k] for k in node.group_keys)
+            acc = groups.get(key)
+            if acc is None:
+                acc = evaluator.new_group()
+                groups[key] = acc
+            evaluator.accumulate(acc, row)
+        if not node.group_keys and not groups:
+            groups[()] = evaluator.new_group()
+        return [key + evaluator.results(acc) for key, acc in groups.items()]
+    if isinstance(node, LogicalSort):
+        rows = naive_execute(node.input, store)
+        if node.sort_keys:
+            rows = sort_rows(rows, node.sort_keys)
+        if node.fetch is not None:
+            rows = rows[: node.fetch]
+        return rows
+    raise TypeError(f"naive_execute cannot handle {type(node).__name__}")
+
+
+def normalise(rows: Sequence[Tuple], ordered: bool = False) -> List[Tuple]:
+    """Canonical form for result comparison (rounding floats)."""
+
+    def canon(value):
+        if isinstance(value, float):
+            return round(value, 6)
+        return value
+
+    canonical = [tuple(canon(v) for v in row) for row in rows]
+    if ordered:
+        return canonical
+    return sorted(canonical, key=repr)
+
+
+# ---------------------------------------------------------------------------
+# A tiny reusable test database
+# ---------------------------------------------------------------------------
+
+EMP_COLUMNS = [
+    Column("emp_id", ColumnType.INTEGER),
+    Column("dept_id", ColumnType.INTEGER),
+    Column("name", ColumnType.VARCHAR),
+    Column("salary", ColumnType.DOUBLE),
+    Column("hired", ColumnType.DATE),
+]
+
+DEPT_COLUMNS = [
+    Column("dept_id", ColumnType.INTEGER),
+    Column("dept_name", ColumnType.VARCHAR),
+    Column("budget", ColumnType.DOUBLE),
+]
+
+SALES_COLUMNS = [
+    Column("sale_id", ColumnType.INTEGER),
+    Column("emp_id", ColumnType.INTEGER),
+    Column("amount", ColumnType.DOUBLE),
+    Column("region", ColumnType.VARCHAR),
+]
+
+
+def make_company_store(
+    sites: int = 4,
+    employees: int = 120,
+    departments: int = 8,
+    sales: int = 500,
+    seed: int = 5,
+    partitions: int = 8,
+) -> DataStore:
+    """A small three-table database exercising joins and aggregates."""
+    rng = random.Random(seed)
+    store = DataStore(site_count=sites, partitions_per_table=partitions)
+    dept_rows = [
+        (d, f"dept{d}", round(rng.uniform(1e4, 9e4), 2))
+        for d in range(1, departments + 1)
+    ]
+    emp_rows = [
+        (
+            e,
+            rng.randrange(1, departments + 1),
+            f"emp{e}",
+            round(rng.uniform(3e4, 2e5), 2),
+            f"{rng.randrange(1990, 2024)}-{rng.randrange(1, 13):02d}-15",
+        )
+        for e in range(1, employees + 1)
+    ]
+    sales_rows = [
+        (
+            s,
+            rng.randrange(1, employees + 1),
+            round(rng.uniform(10, 5000), 2),
+            rng.choice(["north", "south", "east", "west"]),
+        )
+        for s in range(1, sales + 1)
+    ]
+    store.create_table(
+        TableSchema("dept", DEPT_COLUMNS, ["dept_id"], replicated=True),
+        dept_rows,
+    )
+    store.create_table(TableSchema("emp", EMP_COLUMNS, ["emp_id"]), emp_rows)
+    store.create_table(
+        TableSchema(
+            "sales", SALES_COLUMNS, ["sale_id"], affinity_key="sale_id"
+        ),
+        sales_rows,
+    )
+    store.create_index("emp", "emp_pk", ["emp_id"])
+    store.create_index("sales", "sales_emp", ["emp_id"])
+    return store
+
+
+def make_company_cluster(config):
+    """An IgniteCalciteCluster over the company data set."""
+    from repro.core.cluster import IgniteCalciteCluster
+
+    cluster = IgniteCalciteCluster(config)
+    source = make_company_store(
+        sites=config.sites, partitions=config.partitions_per_table
+    )
+    for name in source.table_names():
+        data = source.table(name)
+        rows = [row for part in data.partitions for row in part]
+        cluster.create_table(_clone_schema(data.schema), rows)
+    cluster.create_index("emp", "emp_pk", ["emp_id"])
+    cluster.create_index("sales", "sales_emp", ["emp_id"])
+    return cluster
+
+
+def _clone_schema(schema: TableSchema) -> TableSchema:
+    return TableSchema(
+        schema.name,
+        schema.columns,
+        schema.primary_key,
+        affinity_key=schema.affinity_key,
+        replicated=schema.replicated,
+    )

@@ -1,0 +1,112 @@
+"""Integration tests for the benchmark harness (Section 6.1-6.3 methodology)."""
+
+import pytest
+
+from repro.bench.harness import (
+    ResponseTimeHarness,
+    confidence_interval_95,
+    run_aql,
+)
+from repro.bench.tpch import (
+    ENABLED_QUERY_IDS,
+    IC_FAILING_QUERY_IDS,
+    QUERIES,
+    load_tpch_cluster,
+)
+from repro.common.config import SystemConfig
+from repro.core.cluster import QueryStatus
+
+AQL_QUERIES = {
+    f"Q{qid}": QUERIES[qid].sql
+    for qid in (1, 3, 6, 12, 14)
+}
+
+
+class TestResponseTimeHarness:
+    def test_measures_and_classifies(self):
+        queries = {"Q1": QUERIES[1].sql, "Q2": QUERIES[2].sql}
+        harness = ResponseTimeHarness(
+            load_tpch_cluster, queries, scale_factors=(0.1,)
+        )
+        result = harness.run(SystemConfig.ic(4))
+        assert result.latency("Q1", 0.1) > 0
+        assert result.latency("Q2", 0.1) is None
+        assert result.cells[("Q2", 0.1)].status is QueryStatus.PLANNING_FAILED
+
+    def test_mean_gain_over(self):
+        queries = {"Q6": QUERIES[6].sql}
+        harness = ResponseTimeHarness(
+            load_tpch_cluster, queries, scale_factors=(0.1, 0.2)
+        )
+        base = harness.run(SystemConfig.ic(4))
+        improved = harness.run(SystemConfig.ic_plus(4))
+        gain = improved.mean_gain_over(base, "Q6", (0.1, 0.2))
+        assert gain == pytest.approx(1.0, rel=0.1)
+
+    def test_gain_none_when_baseline_always_fails(self):
+        queries = {"Q2": QUERIES[2].sql}
+        harness = ResponseTimeHarness(
+            load_tpch_cluster, queries, scale_factors=(0.1,)
+        )
+        base = harness.run(SystemConfig.ic(4))
+        improved = harness.run(SystemConfig.ic_plus(4))
+        assert improved.mean_gain_over(base, "Q2", (0.1,)) is None
+
+    def test_repeats_are_deterministic(self):
+        queries = {"Q6": QUERIES[6].sql}
+        one = ResponseTimeHarness(load_tpch_cluster, queries, (0.1,), repeats=1)
+        three = ResponseTimeHarness(load_tpch_cluster, queries, (0.1,), repeats=3)
+        a = one.run(SystemConfig.ic_plus(4)).latency("Q6", 0.1)
+        b = three.run(SystemConfig.ic_plus(4)).latency("Q6", 0.1)
+        assert a == pytest.approx(b)
+
+
+class TestAql:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return load_tpch_cluster(SystemConfig.ic_plus(4), 0.1)
+
+    def test_basic_run(self, cluster):
+        result = run_aql(cluster, AQL_QUERIES, clients=2, duration_seconds=60)
+        assert result.completed > 0
+        assert result.average_latency > 0
+        assert result.clients == 2
+
+    def test_more_clients_complete_more_queries(self, cluster):
+        two = run_aql(cluster, AQL_QUERIES, clients=2, duration_seconds=60)
+        eight = run_aql(cluster, AQL_QUERIES, clients=8, duration_seconds=60)
+        assert eight.completed > two.completed
+
+    def test_contention_raises_latency(self, cluster):
+        two = run_aql(cluster, AQL_QUERIES, clients=2, duration_seconds=120)
+        sixteen = run_aql(cluster, AQL_QUERIES, clients=16, duration_seconds=120)
+        assert sixteen.average_latency > two.average_latency
+
+    def test_deterministic_for_fixed_seed(self, cluster):
+        a = run_aql(cluster, AQL_QUERIES, clients=4, duration_seconds=60, seed=9)
+        b = run_aql(cluster, AQL_QUERIES, clients=4, duration_seconds=60, seed=9)
+        assert a.average_latency == pytest.approx(b.average_latency)
+        assert a.completed == b.completed
+
+    def test_failing_query_raises(self, cluster_ic=None):
+        ic = load_tpch_cluster(SystemConfig.ic(4), 0.1)
+        with pytest.raises(RuntimeError):
+            run_aql(ic, {"Q2": QUERIES[2].sql}, clients=1, duration_seconds=10)
+
+    def test_paper_workload_excludes_baseline_casualties(self):
+        assert set(IC_FAILING_QUERY_IDS) == {2, 5, 9, 17, 19, 21}
+        workload = [
+            qid for qid in ENABLED_QUERY_IDS if qid not in IC_FAILING_QUERY_IDS
+        ]
+        assert len(workload) == 14
+
+
+class TestConfidenceInterval:
+    def test_single_value_has_zero_width(self):
+        mean, half = confidence_interval_95([3.0])
+        assert mean == 3.0 and half == 0.0
+
+    def test_symmetric_values(self):
+        mean, half = confidence_interval_95([1.0, 3.0])
+        assert mean == 2.0
+        assert half > 0

@@ -1,0 +1,54 @@
+"""Integration tests for the reporting pipeline at tiny scale."""
+
+import pytest
+
+from repro.bench.reporting import (
+    aql_table,
+    failure_matrix,
+    ssb_gain_figure,
+    tpch_gain_figure,
+)
+
+SF = (0.1,)
+
+
+class TestFailureMatrix:
+    def test_rows_cover_all_queries(self):
+        rows = failure_matrix(0.1)
+        assert len(rows) == 22
+        statuses = {q: (a, b) for q, a, b in rows}
+        assert statuses["Q2"] == ("planning_failed", "ok")
+        assert statuses["Q15"] == ("unsupported", "unsupported")
+        assert statuses["Q20"] == ("planner_defect", "planner_defect")
+
+
+class TestGainFigures:
+    def test_tpch_figure_has_all_cells(self):
+        figure = tpch_gain_figure("Fig", "IC", "IC+", SF, (4,))
+        assert len(figure.gains) == 20
+        # Baseline planning failures have no gain.
+        assert figure.gains[("Q2", 4)] is None
+        assert figure.gains[("Q3", 4)] is not None
+        markdown = figure.to_markdown()
+        assert "| Q3 |" in markdown
+
+    def test_ssb_figure(self):
+        figure = ssb_gain_figure(SF, (4,))
+        assert set(q for q, _ in figure.gains) == {
+            "Q1.1", "Q1.2", "Q1.3", "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+        }
+        assert all(
+            g is None or g > 0 for g in figure.gains.values()
+        )
+
+
+class TestAqlTable:
+    def test_table_shape_and_monotonicity(self):
+        table = aql_table(0.1, (4,), clients=(2, 8), duration_seconds=120)
+        assert len(table.latencies) == 6  # 3 systems x 2 client counts
+        for system in table.systems:
+            low = table.latencies[(4, system, 2)]
+            high = table.latencies[(4, system, 8)]
+            assert high >= low * 0.95
+        markdown = table.to_markdown()
+        assert "| clients |" in markdown

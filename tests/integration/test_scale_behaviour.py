@@ -1,0 +1,54 @@
+"""Scaling behaviour: latencies and result sizes respond sanely to data
+size, site count and the paper's methodology knobs."""
+
+import pytest
+
+from repro.bench.tpch import QUERIES, cached_tpch_data, load_tpch_cluster
+from repro.common.config import SystemConfig
+
+
+class TestScaleFactorSweep:
+    @pytest.mark.parametrize("qid", [1, 3, 6, 12])
+    def test_latency_grows_with_scale_factor(self, qid):
+        latencies = []
+        for sf in (0.1, 0.2, 0.4):
+            cluster = load_tpch_cluster(SystemConfig.ic_plus(4), sf)
+            latencies.append(cluster.sql(QUERIES[qid].sql).simulated_seconds)
+        assert latencies[0] < latencies[2], latencies
+
+    def test_data_grows_linearly(self):
+        small = cached_tpch_data(0.1)
+        large = cached_tpch_data(0.4)
+        ratio = len(large["lineitem"]) / len(small["lineitem"])
+        assert 3.0 < ratio < 5.5
+
+
+class TestSiteScaling:
+    """"All 8-site configurations consistently outperformed their 4-site
+    counterparts in all tests" (Section 6.1)."""
+
+    @pytest.mark.parametrize("qid", [1, 3, 7, 10, 12, 18])
+    def test_eight_sites_not_slower(self, qid):
+        four = load_tpch_cluster(SystemConfig.ic_plus(4), 0.5)
+        eight = load_tpch_cluster(SystemConfig.ic_plus(8), 0.5)
+        a = four.sql(QUERIES[qid].sql).simulated_seconds
+        b = eight.sql(QUERIES[qid].sql).simulated_seconds
+        assert b <= a * 1.10, (qid, a, b)
+
+    def test_results_independent_of_site_count(self):
+        four = load_tpch_cluster(SystemConfig.ic_plus(4), 0.2)
+        eight = load_tpch_cluster(SystemConfig.ic_plus(8), 0.2)
+        a = four.sql(QUERIES[10].sql).rows
+        b = eight.sql(QUERIES[10].sql).rows
+        assert [r[0] for r in a] == [r[0] for r in b]
+
+
+class TestPartitionCountKnob:
+    def test_more_partitions_same_results(self):
+        base = load_tpch_cluster(SystemConfig.ic_plus(4), 0.1)
+        finer = load_tpch_cluster(
+            SystemConfig.ic_plus(4).with_(partitions_per_table=16), 0.1
+        )
+        a = sorted(base.sql(QUERIES[6].sql).rows)
+        b = sorted(finer.sql(QUERIES[6].sql).rows)
+        assert a == pytest.approx(b)

@@ -1,0 +1,145 @@
+"""A broad SQL battery: every query differentially checked on all systems.
+
+Complements the targeted end-to-end tests with wide dialect coverage —
+each case runs on IC, IC+ and IC+M and must match the naive oracle.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.rel.sql2rel import SqlToRelConverter
+from repro.sql.parser import parse
+
+from helpers import make_company_cluster, make_company_store, naive_execute, normalise
+
+BATTERY = {
+    # --- projections and expressions ---
+    "arith_mix": "select emp_id, (salary + 1000) * 2 - 500 from emp where emp_id < 20",
+    "division": "select emp_id, salary / 12 from emp where emp_id < 10",
+    "negative": "select emp_id from emp where 0 - salary < -150000",
+    "string_select": "select name, 'fixed' from emp where emp_id = 1",
+    "case_no_else": "select emp_id, case when salary > 100000 then 'high' end from emp where emp_id < 15",
+    "nested_case": (
+        "select emp_id, case when dept_id = 1 then 'a' "
+        "when dept_id = 2 then 'b' else 'c' end from emp where emp_id < 25"
+    ),
+    "upper_lower": "select upper(name), lower(name) from emp where emp_id = 3",
+    "substring": "select substring(name from 1 for 3) from emp where emp_id < 5",
+    "extract": "select emp_id, extract(year from hired), extract(month from hired) from emp where emp_id < 8",
+    # --- predicates ---
+    "not_between": "select emp_id from emp where salary not between 40000 and 190000",
+    "not_like": "select emp_id from emp where name not like 'emp1%'",
+    "chained_or": "select emp_id from emp where dept_id = 1 or dept_id = 2 or dept_id = 3",
+    "not_in_list": "select emp_id from emp where dept_id not in (1, 2, 3, 4)",
+    "de_morgan": "select emp_id from emp where not (dept_id = 1 or salary > 100000)",
+    "date_compare": "select emp_id from emp where hired >= '2015-01-01' and hired < '2020-01-01'",
+    "or_of_ands": (
+        "select emp_id from emp where (dept_id = 1 and salary > 100000) "
+        "or (dept_id = 2 and salary < 60000)"
+    ),
+    # --- aggregation ---
+    "count_distinct": "select count(distinct dept_id) from emp",
+    "sum_distinct": "select sum(distinct dept_id) from emp",
+    "group_by_two_keys": (
+        "select dept_id, extract(year from hired), count(*) from emp "
+        "group by dept_id, extract(year from hired) order by 1, 2"
+    ),
+    "having_on_avg": (
+        "select dept_id from emp group by dept_id "
+        "having avg(salary) > 100000 order by dept_id"
+    ),
+    "agg_of_expression": "select dept_id, sum(salary * 0.1) from emp group by dept_id order by dept_id",
+    "expression_of_aggs": (
+        "select dept_id, sum(salary) / count(*) from emp "
+        "group by dept_id order by dept_id"
+    ),
+    "min_max_strings": "select min(name), max(name) from emp",
+    # --- joins ---
+    "join_on_syntax": (
+        "select e.name from emp e join dept d on e.dept_id = d.dept_id "
+        "where d.budget > 50000"
+    ),
+    "join_extra_on_conjunct": (
+        "select e.emp_id from emp e join sales s "
+        "on e.emp_id = s.emp_id and s.amount > 4000"
+    ),
+    "theta_join": (
+        "select count(*) from emp e, dept d "
+        "where e.dept_id = d.dept_id and e.salary > d.budget"
+    ),
+    "self_join_pairs": (
+        "select count(*) from emp a, emp b "
+        "where a.dept_id = b.dept_id and a.emp_id < b.emp_id"
+    ),
+    "three_way_with_filters": (
+        "select d.dept_name, count(*) from dept d, emp e, sales s "
+        "where d.dept_id = e.dept_id and e.emp_id = s.emp_id "
+        "and s.region = 'north' group by d.dept_name order by 2 desc, 1"
+    ),
+    "left_join_null_check": (
+        "select e.emp_id from emp e left join sales s on e.emp_id = s.emp_id "
+        "where s.sale_id is null"
+    ),
+    # --- subqueries ---
+    "in_subquery_with_filter": (
+        "select name from emp where dept_id in "
+        "(select dept_id from dept where budget < 30000)"
+    ),
+    "exists_non_equi": (
+        "select e.emp_id from emp e where exists "
+        "(select * from sales s where s.emp_id = e.emp_id and s.amount > e.salary / 50)"
+    ),
+    "scalar_min": "select count(*) from emp where salary = (select max(salary) from emp)",
+    "double_subquery": (
+        "select e.emp_id from emp e where e.salary > (select avg(salary) from emp) "
+        "and exists (select * from sales s where s.emp_id = e.emp_id)"
+    ),
+    "derived_table_join": (
+        "select d.dept_name, t.total from dept d, "
+        "(select dept_id, sum(salary) as total from emp group by dept_id) as t "
+        "where d.dept_id = t.dept_id order by t.total desc"
+    ),
+    # --- ordering ---
+    "order_by_two_keys": "select dept_id, salary from emp order by dept_id asc, salary desc limit 12",
+    "order_by_expression_alias": (
+        "select emp_id, salary * 2 as double_pay from emp "
+        "order by double_pay desc limit 3"
+    ),
+    "distinct_with_order": "select distinct dept_id from emp order by dept_id desc",
+}
+
+ORDERED = {
+    "group_by_two_keys", "having_on_avg", "agg_of_expression",
+    "expression_of_aggs", "three_way_with_filters", "order_by_two_keys",
+    "order_by_expression_alias", "distinct_with_order", "derived_table_join",
+}
+
+
+@pytest.fixture(scope="module")
+def clusters():
+    return {
+        name: make_company_cluster(maker())
+        for name, maker in (
+            ("IC", SystemConfig.ic),
+            ("IC+", SystemConfig.ic_plus),
+            ("IC+M", SystemConfig.ic_plus_m),
+        )
+    }
+
+
+@pytest.fixture(scope="module")
+def oracle_store():
+    return make_company_store()
+
+
+@pytest.mark.parametrize("name", sorted(BATTERY))
+def test_battery_case(name, clusters, oracle_store):
+    sql = BATTERY[name]
+    logical = SqlToRelConverter(oracle_store.catalog).convert(parse(sql))
+    expected = normalise(naive_execute(logical, oracle_store), name in ORDERED)
+    for system, cluster in clusters.items():
+        outcome = cluster.try_sql(sql)
+        assert outcome.ok, (system, name, outcome.status, outcome.error)
+        assert normalise(outcome.rows, name in ORDERED) == expected, (
+            system, name,
+        )

@@ -1,0 +1,81 @@
+"""Property tests: aggregate split/merge equivalence and sanity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.aggregates import AggAccumulator
+from repro.rel.logical import AggFunc
+
+values = st.lists(
+    st.one_of(
+        st.none(),
+        st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+    ),
+    max_size=40,
+)
+
+splittable = st.sampled_from(
+    [AggFunc.COUNT, AggFunc.SUM, AggFunc.AVG, AggFunc.MIN, AggFunc.MAX]
+)
+
+
+def single_phase(func, data):
+    acc = AggAccumulator(func, False)
+    for value in data:
+        acc.add(value)
+    return acc.result()
+
+
+def map_reduce(func, data, split_at):
+    reducer = AggAccumulator(func, False)
+    for chunk in (data[:split_at], data[split_at:]):
+        mapper = AggAccumulator(func, False)
+        for value in chunk:
+            mapper.add(value)
+        reducer.merge(mapper.partial())
+    return reducer.result()
+
+
+class TestSplitEquivalence:
+    @given(func=splittable, data=values, split=st.integers(0, 40))
+    @settings(max_examples=400, deadline=None)
+    def test_map_reduce_equals_single_phase(self, func, data, split):
+        split_at = min(split, len(data))
+        a = single_phase(func, data)
+        b = map_reduce(func, data, split_at)
+        if a is None or b is None:
+            assert a == b
+        else:
+            assert a == pytest.approx(b)
+
+    @given(data=values)
+    @settings(max_examples=200, deadline=None)
+    def test_count_equals_non_null_count(self, data):
+        expected = sum(1 for v in data if v is not None)
+        assert single_phase(AggFunc.COUNT, data) == expected
+
+    @given(data=values)
+    @settings(max_examples=200, deadline=None)
+    def test_min_le_avg_le_max(self, data):
+        non_null = [v for v in data if v is not None]
+        avg = single_phase(AggFunc.AVG, data)
+        if not non_null:
+            assert avg is None
+            return
+        low = single_phase(AggFunc.MIN, data)
+        high = single_phase(AggFunc.MAX, data)
+        assert low - 1e-9 <= avg <= high + 1e-9
+
+    @given(data=values)
+    @settings(max_examples=200, deadline=None)
+    def test_distinct_count_bounded(self, data):
+        acc = AggAccumulator(AggFunc.COUNT, True)
+        for value in data:
+            acc.add(value)
+        non_null = [v for v in data if v is not None]
+        assert acc.result() == len(set(non_null))

@@ -1,0 +1,163 @@
+"""Property-based tests for the expression layer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rel.expr import (
+    BinaryOp,
+    ColRef,
+    Expr,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    UnaryOp,
+    compile_expr,
+    factor_common_conjuncts,
+    make_conjunction,
+    make_disjunction,
+    references,
+    remap_refs,
+    shift_refs,
+    split_conjunction,
+    split_disjunction,
+)
+
+ROW_WIDTH = 4
+
+values = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+rows = st.tuples(*([values] * ROW_WIDTH))
+
+
+@st.composite
+def comparison_exprs(draw) -> Expr:
+    left = ColRef(draw(st.integers(0, ROW_WIDTH - 1)))
+    op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+    right = Literal(draw(st.integers(-50, 50)))
+    return BinaryOp(op, left, right)
+
+
+@st.composite
+def boolean_exprs(draw, depth=2) -> Expr:
+    if depth == 0:
+        return draw(comparison_exprs())
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return draw(comparison_exprs())
+    if choice == 1:
+        return UnaryOp("NOT", draw(boolean_exprs(depth=depth - 1)))
+    op = "AND" if choice == 2 else "OR"
+    return BinaryOp(
+        op,
+        draw(boolean_exprs(depth=depth - 1)),
+        draw(boolean_exprs(depth=depth - 1)),
+    )
+
+
+def reference_eval(expr: Expr, row):
+    """Independent recursive evaluator to check compile_expr against."""
+    if isinstance(expr, ColRef):
+        return row[expr.index]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, BinaryOp):
+        left = reference_eval(expr.left, row)
+        right = reference_eval(expr.right, row)
+        if expr.op == "AND":
+            return left and right
+        if expr.op == "OR":
+            return left or right
+        if left is None or right is None:
+            return None
+        import operator
+
+        table = {
+            "=": operator.eq, "<>": operator.ne, "<": operator.lt,
+            "<=": operator.le, ">": operator.gt, ">=": operator.ge,
+            "+": operator.add, "-": operator.sub, "*": operator.mul,
+            "/": operator.truediv,
+        }
+        return table[expr.op](left, right)
+    if isinstance(expr, UnaryOp):
+        value = reference_eval(expr.operand, row)
+        if value is None:
+            return None
+        return (not value) if expr.op == "NOT" else -value
+    raise TypeError(type(expr))
+
+
+class TestCompileMatchesReference:
+    @given(expr=boolean_exprs(), row=rows)
+    @settings(max_examples=300, deadline=None)
+    def test_boolean_trees(self, expr, row):
+        assert bool(compile_expr(expr)(row)) == bool(reference_eval(expr, row))
+
+    @given(row=rows, shift=st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_shift_refs_semantics(self, row, shift):
+        expr = BinaryOp("+", ColRef(0), ColRef(ROW_WIDTH - 1))
+        padded = (None,) * shift + row
+        assert compile_expr(shift_refs(expr, shift))(padded) == compile_expr(
+            expr
+        )(row)
+
+
+class TestConjunctionRoundtrip:
+    @given(st.lists(comparison_exprs(), min_size=1, max_size=6), rows)
+    @settings(max_examples=200, deadline=None)
+    def test_split_make_preserves_semantics(self, conjuncts, row):
+        combined = make_conjunction(conjuncts)
+        again = make_conjunction(split_conjunction(combined))
+        original = all(bool(compile_expr(c)(row)) for c in conjuncts)
+        assert bool(compile_expr(again)(row)) == original
+
+    @given(st.lists(comparison_exprs(), min_size=1, max_size=6), rows)
+    @settings(max_examples=200, deadline=None)
+    def test_disjunction_roundtrip(self, disjuncts, row):
+        combined = make_disjunction(disjuncts)
+        original = any(bool(compile_expr(d)(row)) for d in disjuncts)
+        assert bool(compile_expr(combined)(row)) == original
+        assert len(split_disjunction(combined)) == len(disjuncts)
+
+
+class TestFactoringPreservesSemantics:
+    """Section 5.2's rewrite must never change a predicate's meaning."""
+
+    @given(
+        common=st.lists(comparison_exprs(), min_size=1, max_size=2),
+        branches=st.lists(
+            st.lists(comparison_exprs(), min_size=0, max_size=2),
+            min_size=2,
+            max_size=4,
+        ),
+        row=rows,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_or_of_ands(self, common, branches, row):
+        disjuncts = [
+            make_conjunction(common + branch) for branch in branches
+        ]
+        expr = make_disjunction(disjuncts)
+        factored = factor_common_conjuncts(expr)
+        if factored is None:
+            return
+        assert bool(compile_expr(expr)(row)) == bool(
+            compile_expr(factored)(row)
+        ), (expr.digest(), factored.digest())
+
+
+class TestReferences:
+    @given(expr=boolean_exprs())
+    @settings(max_examples=200, deadline=None)
+    def test_references_are_within_row(self, expr):
+        refs = references(expr)
+        assert all(0 <= r < ROW_WIDTH for r in refs)
+
+    @given(expr=boolean_exprs(), offset=st.integers(1, 7))
+    @settings(max_examples=200, deadline=None)
+    def test_remap_shifts_every_reference(self, expr, offset):
+        remapped = remap_refs(expr, lambda i: i + offset)
+        assert references(remapped) == {r + offset for r in references(expr)}

@@ -1,0 +1,51 @@
+"""Property tests: the fast LIKE matcher against a regex oracle."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rel.expr import LikeExpr, Literal, compile_expr
+
+alphabet = st.sampled_from("abc%_")
+texts = st.text(alphabet=st.sampled_from("abc"), max_size=12)
+patterns = st.text(alphabet=alphabet, max_size=8)
+
+
+def regex_like(pattern: str, value: str) -> bool:
+    regex = (
+        "^"
+        + re.escape(pattern).replace("%", ".*").replace("_", ".")
+        + "$"
+    )
+    return bool(re.match(regex, value, re.DOTALL))
+
+
+class TestLikeMatchesRegexOracle:
+    @given(pattern=patterns, value=texts)
+    @settings(max_examples=500, deadline=None)
+    def test_matcher_agrees_with_regex(self, pattern, value):
+        matcher = compile_expr(LikeExpr(Literal(value), pattern))
+        assert bool(matcher(())) == regex_like(pattern, value), (
+            pattern, value,
+        )
+
+    @given(value=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_lone_percent_matches_everything(self, value):
+        assert compile_expr(LikeExpr(Literal(value), "%"))(()) is True
+
+    @given(value=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_pattern_is_equality(self, value):
+        matcher = compile_expr(LikeExpr(Literal(value), value or "x"))
+        expected = (value == (value or "x"))
+        assert bool(matcher(())) == expected
+
+    @given(pattern=patterns, value=texts)
+    @settings(max_examples=200, deadline=None)
+    def test_negation_is_complement(self, pattern, value):
+        positive = compile_expr(LikeExpr(Literal(value), pattern))(())
+        negative = compile_expr(
+            LikeExpr(Literal(value), pattern, negated=True)
+        )(())
+        assert bool(positive) != bool(negative)

@@ -1,0 +1,96 @@
+"""Property tests for the invariant co-located joins depend on:
+
+rows routed by a hash exchange must land on exactly the site that stores
+the matching partition of a table hash-distributed on the same key.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import ColumnType
+from repro.storage.table import TableData, affinity_partition
+
+I = ColumnType.INTEGER
+
+
+class TestAffinityRouting:
+    @given(
+        keys=st.one_of(
+            st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=50),
+            st.lists(st.text(max_size=8), min_size=1, max_size=50),
+        ),
+        partitions=st.integers(1, 16),
+        sites=st.integers(1, 8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_exchange_routing_matches_table_placement(
+        self, keys, partitions, sites
+    ):
+        """The sender's site choice (partition % sites) must agree with
+        round-robin partition placement for every key value."""
+        key_type = I if isinstance(keys[0], int) else ColumnType.VARCHAR
+        schema = TableSchema("t", [Column("k", key_type)], ["k"])
+        rows = [(k,) for k in keys]
+        data = TableData(
+            schema, rows, partition_count=partitions, site_count=sites
+        )
+        for key in keys:
+            partition = affinity_partition(key, partitions)
+            routed_site = partition % sites
+            # The table's copy of this key lives where the router sends it.
+            stored_sites = data.partition_sites[partition]
+            assert routed_site in stored_sites
+
+    @given(
+        value=st.one_of(st.integers(), st.text(max_size=16)),
+        partitions=st.integers(1, 64),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_partition_function_is_stable_and_in_range(self, value, partitions):
+        first = affinity_partition(value, partitions)
+        second = affinity_partition(value, partitions)
+        assert first == second
+        assert 0 <= first < partitions
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_colocated_tables_put_matching_keys_on_one_site(self, seed):
+        """Two tables hash-partitioned on the same key domain co-locate:
+        a local join per site sees every matching pair exactly once."""
+        rng = random.Random(seed)
+        sites, partitions = 4, 8
+        left_schema = TableSchema("l", [Column("k", I), Column("x", I)], ["k"])
+        right_schema = TableSchema(
+            "r", [Column("k", I), Column("y", I)], ["k"]
+        )
+        left_rows = [(rng.randrange(50), i) for i in range(60)]
+        right_rows = [(rng.randrange(50), i) for i in range(60)]
+        left = TableData(left_schema, left_rows, partitions, sites)
+        right = TableData(right_schema, right_rows, partitions, sites)
+
+        local_pairs = []
+        for site in range(sites):
+            left_local = [
+                row
+                for p in left.partitions_at_site(site)
+                for row in left.partitions[p]
+            ]
+            right_local = [
+                row
+                for p in right.partitions_at_site(site)
+                for row in right.partitions[p]
+            ]
+            for lrow in left_local:
+                for rrow in right_local:
+                    if lrow[0] == rrow[0]:
+                        local_pairs.append((lrow, rrow))
+
+        global_pairs = [
+            (lrow, rrow)
+            for lrow in left_rows
+            for rrow in right_rows
+            if lrow[0] == rrow[0]
+        ]
+        assert sorted(local_pairs) == sorted(global_pairs)

@@ -1,0 +1,81 @@
+"""Property-based tests for the cluster scheduler's invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.scheduler import TaskGraph, WorkloadSimulator, simulate_makespan
+from repro.common.constants import CORE_UNITS_PER_SECOND as RATE
+
+
+@st.composite
+def task_graphs(draw):
+    """A random DAG: each task may depend on earlier tasks only."""
+    count = draw(st.integers(1, 20))
+    sites = draw(st.integers(1, 4))
+    graph = TaskGraph()
+    for i in range(count):
+        deps = []
+        if i:
+            deps = draw(
+                st.lists(st.integers(0, i - 1), max_size=3, unique=True)
+            )
+        units = draw(st.floats(min_value=1.0, max_value=5 * RATE))
+        graph.add(draw(st.integers(0, sites - 1)), units, deps)
+    return graph, sites
+
+
+class TestMakespanBounds:
+    @given(data=task_graphs(), cores=st.integers(1, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_makespan_bounded_below_by_critical_path(self, data, cores):
+        graph, sites = data
+        makespan = simulate_makespan(graph, sites, cores)
+        critical = graph.critical_path_units() / RATE
+        assert makespan >= critical - 1e-9
+
+    @given(data=task_graphs(), cores=st.integers(1, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_makespan_bounded_below_by_per_site_load(self, data, cores):
+        graph, sites = data
+        makespan = simulate_makespan(graph, sites, cores)
+        loads = {}
+        for task in graph.tasks:
+            loads[task.site % sites] = loads.get(task.site % sites, 0.0) + task.units
+        bound = max(loads.values()) / (cores * RATE)
+        assert makespan >= bound - 1e-9
+
+    @given(data=task_graphs(), cores=st.integers(1, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_makespan_bounded_above_by_serial_execution(self, data, cores):
+        graph, sites = data
+        makespan = simulate_makespan(graph, sites, cores)
+        assert makespan <= graph.total_units / RATE + 1e-9
+
+    @given(data=task_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_more_cores_never_slower(self, data):
+        graph, sites = data
+        slow = simulate_makespan(graph, sites, 1)
+        fast = simulate_makespan(graph, sites, 8)
+        assert fast <= slow + 1e-9
+
+
+class TestWorkloadInvariants:
+    @given(
+        seed=st.integers(0, 100),
+        clients=st.integers(1, 6),
+        cores=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_submissions_complete(self, seed, clients, cores):
+        rng = random.Random(seed)
+        sim = WorkloadSimulator(2, cores)
+        graph = TaskGraph()
+        first = graph.add(0, rng.uniform(1, RATE))
+        graph.add(1, rng.uniform(1, RATE), [first])
+        for tag in range(clients):
+            sim.submit(graph, at=rng.uniform(0, 1), tag=tag)
+        sim.run()
+        for tag in range(clients):
+            assert sim.latency(tag) > 0

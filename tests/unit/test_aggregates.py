@@ -1,0 +1,121 @@
+"""Unit tests for aggregate accumulators and phases."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.exec.aggregates import AggAccumulator, AggregateEvaluator
+from repro.rel.expr import ColRef
+from repro.rel.logical import AggCall, AggFunc
+
+
+def feed(func, values, distinct=False):
+    acc = AggAccumulator(func, distinct)
+    for value in values:
+        acc.add(value)
+    return acc
+
+
+class TestAccumulators:
+    def test_count(self):
+        assert feed(AggFunc.COUNT, [1, 2, 3]).result() == 3
+
+    def test_count_skips_nulls(self):
+        assert feed(AggFunc.COUNT, [1, None, 3]).result() == 2
+
+    def test_sum(self):
+        assert feed(AggFunc.SUM, [1.5, 2.5]).result() == 4.0
+
+    def test_sum_of_nothing_is_null(self):
+        assert feed(AggFunc.SUM, []).result() is None
+        assert feed(AggFunc.SUM, [None, None]).result() is None
+
+    def test_avg(self):
+        assert feed(AggFunc.AVG, [2, 4, 6]).result() == pytest.approx(4.0)
+
+    def test_avg_of_nothing_is_null(self):
+        assert feed(AggFunc.AVG, []).result() is None
+
+    def test_min_max(self):
+        assert feed(AggFunc.MIN, [3, 1, 2]).result() == 1
+        assert feed(AggFunc.MAX, [3, 1, 2]).result() == 3
+
+    def test_min_max_strings(self):
+        assert feed(AggFunc.MIN, ["b", "a"]).result() == "a"
+
+    def test_count_zero(self):
+        assert feed(AggFunc.COUNT, []).result() == 0
+
+
+class TestDistinct:
+    def test_count_distinct(self):
+        assert feed(AggFunc.COUNT, [1, 1, 2, 2, 3], distinct=True).result() == 3
+
+    def test_sum_distinct(self):
+        assert feed(AggFunc.SUM, [5, 5, 3], distinct=True).result() == 8
+
+    def test_distinct_cannot_be_split(self):
+        acc = feed(AggFunc.COUNT, [1, 2], distinct=True)
+        with pytest.raises(ExecutionError):
+            acc.partial()
+
+
+class TestMapReduceSplit:
+    """MAP partials merged in REDUCE must equal single-phase results."""
+
+    @pytest.mark.parametrize(
+        "func", [AggFunc.COUNT, AggFunc.SUM, AggFunc.AVG, AggFunc.MIN, AggFunc.MAX]
+    )
+    def test_split_equals_single(self, func):
+        values = [3.0, 7.0, 1.0, 9.0, 4.0, 6.0]
+        single = feed(func, values).result()
+        partial_a = feed(func, values[:3]).partial()
+        partial_b = feed(func, values[3:]).partial()
+        reducer = AggAccumulator(func, False)
+        reducer.merge(partial_a)
+        reducer.merge(partial_b)
+        assert reducer.result() == pytest.approx(single)
+
+    def test_avg_partial_is_sum_count_pair(self):
+        acc = feed(AggFunc.AVG, [2.0, 4.0])
+        assert acc.partial() == (6.0, 2)
+
+    def test_merge_of_empty_partition(self):
+        reducer = AggAccumulator(AggFunc.MIN, False)
+        reducer.merge(None)  # an empty partition's MIN partial
+        reducer.merge(5)
+        assert reducer.result() == 5
+
+    def test_count_partials_add(self):
+        reducer = AggAccumulator(AggFunc.COUNT, False)
+        reducer.merge(3)
+        reducer.merge(4)
+        assert reducer.result() == 7
+
+
+class TestEvaluator:
+    def test_accumulate_rows(self):
+        calls = [
+            AggCall(AggFunc.SUM, ColRef(0)),
+            AggCall(AggFunc.COUNT, None),
+            AggCall(AggFunc.MAX, ColRef(1)),
+        ]
+        evaluator = AggregateEvaluator(calls)
+        group = evaluator.new_group()
+        for row in [(1.0, "a"), (2.0, "c"), (3.0, "b")]:
+            evaluator.accumulate(group, row)
+        assert evaluator.results(group) == (6.0, 3, "c")
+
+    def test_merge_row_with_offset(self):
+        calls = [AggCall(AggFunc.SUM, ColRef(0)), AggCall(AggFunc.COUNT, None)]
+        evaluator = AggregateEvaluator(calls)
+        group = evaluator.new_group()
+        # Partial row layout: (group_key, sum_partial, count_partial).
+        evaluator.merge_row(group, ("k", (10.0, 2), 2), offset=1)
+        evaluator.merge_row(group, ("k", (5.0, 1), 1), offset=1)
+        assert evaluator.results(group) == (15.0, 3)
+
+    def test_call_requires_argument(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            AggCall(AggFunc.SUM, None)

@@ -1,0 +1,205 @@
+"""Unit tests for the TPC-H and SSB mini data generators."""
+
+import pytest
+
+from repro.bench.ssb import (
+    SSB_INDEXES,
+    SSB_QUERIES,
+    generate_ssb,
+    ssb_schemas,
+)
+from repro.bench.tpch import (
+    ENABLED_QUERY_IDS,
+    QUERIES,
+    TPCH_INDEXES,
+    generate_tpch,
+    table_cardinalities,
+    tpch_schemas,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch(0.2)
+
+
+@pytest.fixture(scope="module")
+def ssb():
+    return generate_ssb(0.2)
+
+
+class TestTpchShape:
+    def test_fixed_tables(self, tpch):
+        assert len(tpch["region"]) == 5
+        assert len(tpch["nation"]) == 25
+
+    def test_cardinality_ratios(self, tpch):
+        counts = table_cardinalities(0.2)
+        assert len(tpch["supplier"]) == counts["supplier"]
+        assert len(tpch["customer"]) == counts["customer"]
+        assert len(tpch["part"]) == counts["part"]
+        assert len(tpch["orders"]) == counts["orders"]
+        assert len(tpch["partsupp"]) == 4 * len(tpch["part"])
+        # ~4 lineitems per order.
+        ratio = len(tpch["lineitem"]) / len(tpch["orders"])
+        assert 3.0 <= ratio <= 5.0
+
+    def test_scaling_is_linear(self):
+        small = table_cardinalities(0.2)
+        large = table_cardinalities(0.4)
+        assert large["orders"] == pytest.approx(2 * small["orders"], rel=0.05)
+
+    def test_determinism(self):
+        assert generate_tpch(0.1) == generate_tpch(0.1)
+
+    def test_seed_changes_data(self):
+        assert generate_tpch(0.1, seed=1) != generate_tpch(0.1, seed=2)
+
+
+class TestTpchReferentialIntegrity:
+    def test_nation_region_keys(self, tpch):
+        regions = {r[0] for r in tpch["region"]}
+        assert {n[2] for n in tpch["nation"]} <= regions
+
+    def test_supplier_and_customer_nations(self, tpch):
+        nations = {n[0] for n in tpch["nation"]}
+        assert {s[3] for s in tpch["supplier"]} <= nations
+        assert {c[3] for c in tpch["customer"]} <= nations
+
+    def test_orders_reference_customers(self, tpch):
+        customers = {c[0] for c in tpch["customer"]}
+        assert {o[1] for o in tpch["orders"]} <= customers
+
+    def test_third_of_customers_have_no_orders(self, tpch):
+        """The spec (and Q22) requires custkeys divisible by 3 be skipped."""
+        ordering = {o[1] for o in tpch["orders"]}
+        assert all(key % 3 != 0 for key in ordering)
+
+    def test_lineitems_reference_orders_parts_suppliers(self, tpch):
+        orders = {o[0] for o in tpch["orders"]}
+        parts = {p[0] for p in tpch["part"]}
+        suppliers = {s[0] for s in tpch["supplier"]}
+        for li in tpch["lineitem"][:500]:
+            assert li[0] in orders
+            assert li[1] in parts
+            assert li[2] in suppliers
+
+    def test_lineitem_part_supplier_pairs_exist_in_partsupp(self, tpch):
+        pairs = {(ps[0], ps[1]) for ps in tpch["partsupp"]}
+        for li in tpch["lineitem"][:500]:
+            assert (li[1], li[2]) in pairs
+
+    def test_date_ordering_invariants(self, tpch):
+        for li in tpch["lineitem"][:500]:
+            ship, commit, receipt = li[10], li[11], li[12]
+            assert ship < receipt
+            assert len(ship) == len(commit) == len(receipt) == 10
+
+
+class TestTpchPredicateCoverage:
+    """Every workload predicate must select a non-trivial subset."""
+
+    def test_q6_discount_window(self, tpch):
+        hits = [
+            li for li in tpch["lineitem"] if 0.05 <= li[6] <= 0.07
+        ]
+        assert 0 < len(hits) < len(tpch["lineitem"])
+
+    def test_brand_and_container_domains(self, tpch):
+        brands = {p[3] for p in tpch["part"]}
+        containers = {p[6] for p in tpch["part"]}
+        assert "Brand#23" in brands
+        assert "MED BOX" in containers
+
+    def test_ship_modes_and_instructions(self, tpch):
+        modes = {li[14] for li in tpch["lineitem"]}
+        assert {"MAIL", "SHIP", "AIR", "REG AIR"} <= modes
+        instructions = {li[13] for li in tpch["lineitem"]}
+        assert "DELIVER IN PERSON" in instructions
+
+    def test_q13_comment_marker_frequency(self, tpch):
+        special = [
+            o for o in tpch["orders"]
+            if "special" in o[8] and "requests" in o[8]
+        ]
+        assert 0 < len(special) < len(tpch["orders"]) * 0.05
+
+    def test_q22_phone_country_codes(self, tpch):
+        codes = {c[4][:2] for c in tpch["customer"]}
+        assert {"13", "31", "23"} <= codes
+
+    def test_q9_green_parts_exist(self, tpch):
+        assert any("green" in p[1] for p in tpch["part"])
+
+
+class TestSchemasAndIndexes:
+    def test_tpch_schema_count(self):
+        assert len(tpch_schemas()) == 8
+
+    def test_sixteen_tpch_indexes(self):
+        assert len(TPCH_INDEXES) == 16
+        tables = {t for t, _, _ in TPCH_INDEXES}
+        assert tables == set(tpch_schemas())
+
+    def test_nine_ssb_indexes(self):
+        assert len(SSB_INDEXES) == 9
+        lineorder = [i for i in SSB_INDEXES if i[0] == "lineorder"]
+        assert len(lineorder) == 5  # pk + the four join columns
+
+    def test_replication_choices(self):
+        schemas = tpch_schemas()
+        assert schemas["nation"].replicated
+        assert schemas["region"].replicated
+        assert not schemas["lineitem"].replicated
+        assert ssb_schemas()["date_dim"].replicated
+
+    def test_colocation_affinities(self):
+        schemas = tpch_schemas()
+        assert schemas["lineitem"].affinity_key == "l_orderkey"
+        assert schemas["partsupp"].affinity_key == "ps_partkey"
+        assert ssb_schemas()["lineorder"].affinity_key == "lo_orderkey"
+
+
+class TestSsbShape:
+    def test_date_dimension_is_complete(self, ssb):
+        dates = ssb["date_dim"]
+        assert len(dates) == 2557  # 1992-01-01 .. 1998-12-31
+        years = {d[4] for d in dates}
+        assert years == set(range(1992, 1999))
+
+    def test_lineorder_dates_exist_in_dimension(self, ssb):
+        keys = {d[0] for d in ssb["date_dim"]}
+        for lo in ssb["lineorder"][:500]:
+            assert lo[5] in keys
+            assert lo[15] in keys
+
+    def test_city_name_format(self, ssb):
+        for c in ssb["customer"][:50]:
+            assert c[3].startswith(c[4][:9])
+
+    def test_brand_hierarchy(self, ssb):
+        for p in ssb["part"][:200]:
+            mfgr, category, brand = p[2], p[3], p[4]
+            assert category.startswith(mfgr)
+            assert brand.startswith(category)
+
+
+class TestQueryMetadata:
+    def test_twenty_two_queries(self):
+        assert sorted(QUERIES) == list(range(1, 23))
+
+    def test_disabled_queries(self):
+        disabled = {qid for qid, s in QUERIES.items() if s.disabled}
+        assert disabled == {15, 20}
+        assert len(ENABLED_QUERY_IDS) == 20
+
+    def test_thirteen_ssb_queries(self):
+        assert len(SSB_QUERIES) == 13
+        flights = sorted({s.flight for s in SSB_QUERIES.values()})
+        assert flights == [1, 2, 3, 4]
+
+    def test_sql_texts_are_nonempty(self):
+        for spec in QUERIES.values():
+            assert spec.sql.strip().lower().startswith(("select", "create"))
+        for spec in SSB_QUERIES.values():
+            assert spec.sql.strip().lower().startswith("select")

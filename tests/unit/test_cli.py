@@ -1,0 +1,74 @@
+"""Unit tests for the repro-bench command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestArgumentParsing:
+    def test_failures_defaults(self):
+        args = build_parser().parse_args(["failures"])
+        assert args.sf == (0.5,)
+        assert args.sites == (4,)
+
+    def test_scale_factor_list(self):
+        args = build_parser().parse_args(["figure7", "--sf", "0.1,0.2"])
+        assert args.sf == (0.1, 0.2)
+
+    def test_sites_list(self):
+        args = build_parser().parse_args(["figure8", "--sites", "4,8"])
+        assert args.sites == (4, 8)
+
+    def test_table3_clients(self):
+        args = build_parser().parse_args(["table3", "--clients", "2,16"])
+        assert args.clients == (2, 16)
+
+    def test_query_options(self):
+        args = build_parser().parse_args(
+            ["query", "select 1 from t", "--system", "IC", "--bench", "ssb"]
+        )
+        assert args.system == "IC"
+        assert args.bench == "ssb"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "select 1", "--system", "XX"])
+
+
+class TestExecution:
+    def test_query_command_prints_rows(self, capsys):
+        main(["query", "select count(*) from region", "--sf", "0.1"])
+        out = capsys.readouterr().out
+        assert "(5,)" in out
+        assert "1 rows" in out
+
+    def test_query_explain(self, capsys):
+        main(["query", "select r_name from region", "--sf", "0.1", "--explain"])
+        out = capsys.readouterr().out
+        assert "PhysTableScan" in out
+
+    def test_failed_query_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "query",
+                "create view v as select r_name from region",
+                "--sf", "0.1",
+            ])
+        assert "unsupported" in capsys.readouterr().out
+
+    def test_failures_command(self, capsys):
+        main(["failures", "--sf", "0.1"])
+        out = capsys.readouterr().out
+        assert "planning_failed" in out
+        assert "planner_defect" in out
+
+    def test_ssb_query(self, capsys):
+        main([
+            "query", "select count(*) from supplier", "--bench", "ssb",
+            "--sf", "0.1",
+        ])
+        assert "1 rows" in capsys.readouterr().out

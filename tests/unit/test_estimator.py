@@ -1,0 +1,233 @@
+"""Unit tests for cardinality estimation (Section 4.1 / Eq. 3)."""
+
+import pytest
+
+from repro.rel.expr import BinaryOp, ColRef, InList, LikeExpr, Literal, UnaryOp
+from repro.rel.logical import (
+    AggCall,
+    AggFunc,
+    JoinType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSort,
+    LogicalTableScan,
+)
+from repro.stats.estimator import (
+    Estimator,
+    LEGACY_SMALL_INPUT,
+    legacy_join_size,
+    swami_schiefer_join_size,
+)
+
+from helpers import make_company_store
+
+
+@pytest.fixture(scope="module")
+def store():
+    return make_company_store()
+
+
+@pytest.fixture
+def est(store):
+    return Estimator(store, fixed_join_estimation=True)
+
+
+@pytest.fixture
+def legacy_est(store):
+    return Estimator(store, fixed_join_estimation=False)
+
+
+def scan(store, table):
+    schema = store.table(table).schema
+    return LogicalTableScan(table, table, schema.column_names)
+
+
+class TestJoinSizeFormulas:
+    def test_eq3_formula(self):
+        # |A| * |B| / max(dA, dB)
+        assert swami_schiefer_join_size(1000, 500, 100, 250) == pytest.approx(
+            1000 * 500 / 250
+        )
+
+    def test_eq3_never_below_one(self):
+        assert swami_schiefer_join_size(1, 1, 1000, 1000) == 1.0
+
+    def test_eq3_handles_missing_distinct(self):
+        assert swami_schiefer_join_size(100, 100, None, 50) == pytest.approx(200)
+
+    def test_legacy_matches_eq3_for_healthy_inputs(self):
+        healthy = legacy_join_size(1000, 500, 100, 250)
+        assert healthy == pytest.approx(1000 * 500 / 250)
+
+    def test_legacy_small_left_collapses_to_one(self):
+        assert legacy_join_size(LEGACY_SMALL_INPUT, 100000, 5, 1000) == 1.0
+
+    def test_legacy_small_right_collapses_to_one(self):
+        assert legacy_join_size(100000, 1.0, 1000, 1) == 1.0
+
+    def test_legacy_cascades_through_chains(self):
+        """An N x 1 estimate feeds the next join, which also collapses."""
+        first = legacy_join_size(5, 100000, 5, 1000)
+        second = legacy_join_size(first, 100000, 1, 1000)
+        assert first == 1.0 and second == 1.0
+
+
+class TestRowCounts:
+    def test_scan_row_count(self, est, store):
+        assert est.row_count(scan(store, "emp")) == 120
+
+    def test_filter_reduces_rows(self, est, store):
+        node = LogicalFilter(
+            scan(store, "emp"), BinaryOp("=", ColRef(1), Literal(3))
+        )
+        estimate = est.row_count(node)
+        assert 1 <= estimate < 120
+        # dept_id has 8 distinct values: equality ~ 1/8.
+        assert estimate == pytest.approx(120 / 8, rel=0.01)
+
+    def test_sort_fetch_caps_rows(self, est, store):
+        node = LogicalSort(scan(store, "emp"), ((0, True),), fetch=5)
+        assert est.row_count(node) == 5
+
+    def test_aggregate_group_estimate(self, est, store):
+        node = LogicalAggregate(
+            scan(store, "emp"), (1,), (AggCall(AggFunc.COUNT, None),)
+        )
+        assert est.row_count(node) == pytest.approx(8)
+
+    def test_scalar_aggregate_is_one_row(self, est, store):
+        node = LogicalAggregate(
+            scan(store, "emp"), (), (AggCall(AggFunc.COUNT, None),)
+        )
+        assert est.row_count(node) == 1.0
+
+    def test_equi_join_uses_distinct_counts(self, est, store):
+        emp = scan(store, "emp")
+        sales = scan(store, "sales")
+        condition = BinaryOp("=", ColRef(0), ColRef(5 + 1))
+        join = LogicalJoin(emp, sales, condition)
+        # 120 emps x 500 sales / max(120 distinct, ~distinct emp ids in sales)
+        estimate = est.row_count(join)
+        assert 300 <= estimate <= 800
+
+    def test_legacy_join_estimate_collapses_with_small_filter(
+        self, legacy_est, store
+    ):
+        emp = LogicalFilter(
+            scan(store, "emp"), BinaryOp("=", ColRef(0), Literal(7))
+        )
+        sales = scan(store, "sales")
+        join = LogicalJoin(
+            emp, sales, BinaryOp("=", ColRef(0), ColRef(5 + 1))
+        )
+        assert legacy_est.row_count(join) == 1.0
+
+    def test_fixed_estimator_does_not_collapse(self, est, store):
+        emp = LogicalFilter(
+            scan(store, "emp"), BinaryOp("=", ColRef(0), Literal(7))
+        )
+        sales = scan(store, "sales")
+        join = LogicalJoin(emp, sales, BinaryOp("=", ColRef(0), ColRef(6)))
+        assert est.row_count(join) >= 1.0
+        # ~500/120 matches expected for one employee's sales.
+        assert est.row_count(join) == pytest.approx(500 / 120, rel=0.5)
+
+    def test_semi_join_bounded_by_left(self, est, store):
+        emp = scan(store, "emp")
+        sales = scan(store, "sales")
+        join = LogicalJoin(
+            emp, sales, BinaryOp("=", ColRef(0), ColRef(6)), JoinType.SEMI
+        )
+        assert est.row_count(join) <= 120
+
+    def test_cross_join_is_product(self, est, store):
+        join = LogicalJoin(scan(store, "emp"), scan(store, "dept"), None)
+        assert est.row_count(join) == pytest.approx(120 * 8)
+
+    def test_row_counts_are_cached(self, est, store):
+        node = scan(store, "emp")
+        assert est.row_count(node) is est.row_count(node) or (
+            est.row_count(node) == est.row_count(node)
+        )
+
+
+class TestSelectivity:
+    def test_conjunction_multiplies(self, est, store):
+        emp = scan(store, "emp")
+        cond = BinaryOp(
+            "AND",
+            BinaryOp("=", ColRef(1), Literal(1)),
+            BinaryOp("=", ColRef(0), Literal(1)),
+        )
+        sel = est.selectivity(cond, emp)
+        assert sel == pytest.approx((1 / 8) * (1 / 120), rel=0.01)
+
+    def test_disjunction_is_inclusion_exclusion(self, est, store):
+        emp = scan(store, "emp")
+        one = BinaryOp("=", ColRef(1), Literal(1))
+        cond = BinaryOp("OR", one, one)
+        sel = est.selectivity(cond, emp)
+        s = 1 / 8
+        assert sel == pytest.approx(s + s - s * s, rel=0.01)
+
+    def test_negation(self, est, store):
+        emp = scan(store, "emp")
+        cond = UnaryOp("NOT", BinaryOp("=", ColRef(1), Literal(1)))
+        assert est.selectivity(cond, emp) == pytest.approx(1 - 1 / 8, rel=0.01)
+
+    def test_in_list_uses_distinct(self, est, store):
+        emp = scan(store, "emp")
+        cond = InList(ColRef(1), [1, 2, 3])
+        assert est.selectivity(cond, emp) == pytest.approx(3 / 8, rel=0.01)
+
+    def test_like_default(self, est, store):
+        emp = scan(store, "emp")
+        sel = est.selectivity(LikeExpr(ColRef(2), "emp%"), emp)
+        assert 0 < sel < 1
+
+    def test_range_uses_min_max(self, est, store):
+        emp = scan(store, "emp")
+        # salary spans ~[30k, 200k]; < 200k should be nearly everything.
+        high = est.selectivity(BinaryOp("<", ColRef(3), Literal(199_000.0)), emp)
+        low = est.selectivity(BinaryOp("<", ColRef(3), Literal(35_000.0)), emp)
+        assert high > 0.9
+        assert low < 0.2
+
+    def test_date_range_coercion(self, est, store):
+        emp = scan(store, "emp")
+        sel = est.selectivity(
+            BinaryOp(">=", ColRef(4), Literal("2020-01-01")), emp
+        )
+        assert 0 < sel < 0.5
+
+    def test_true_literal_is_one(self, est, store):
+        assert est.selectivity(Literal(True), scan(store, "emp")) == 1.0
+
+
+class TestDistinctPropagation:
+    def test_scan_distinct(self, est, store):
+        assert est.distinct_count(scan(store, "emp"), 1) == 8
+
+    def test_project_passthrough(self, est, store):
+        node = LogicalProject(scan(store, "emp"), [ColRef(1)], ["d"])
+        assert est.distinct_count(node, 0) == 8
+
+    def test_filter_caps_distinct_at_row_count(self, est, store):
+        node = LogicalFilter(
+            scan(store, "emp"), BinaryOp("=", ColRef(0), Literal(1))
+        )
+        assert est.distinct_count(node, 1) <= est.row_count(node)
+
+    def test_aggregate_key_distinct(self, est, store):
+        node = LogicalAggregate(
+            scan(store, "emp"), (1,), (AggCall(AggFunc.COUNT, None),)
+        )
+        assert est.distinct_count(node, 0) == pytest.approx(8)
+
+    def test_aggregate_value_distinct_unknown(self, est, store):
+        node = LogicalAggregate(
+            scan(store, "emp"), (1,), (AggCall(AggFunc.COUNT, None),)
+        )
+        assert est.distinct_count(node, 1) is None

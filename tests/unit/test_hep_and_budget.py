@@ -1,0 +1,88 @@
+"""Unit tests for the HepPlanner engine and the planning budget."""
+
+import pytest
+
+from repro.common.errors import PlannerError, PlanningTimeoutError
+from repro.planner.budget import PlanningBudget
+from repro.planner.hep import HepPlanner, MAX_PASSES
+from repro.planner.rules import FilterMergeRule, Rule
+from repro.rel.expr import BinaryOp, ColRef, Literal
+from repro.rel.logical import LogicalFilter, LogicalTableScan
+
+SCAN = LogicalTableScan("t", "t", ["a", "b"])
+
+
+def lit(i, v):
+    return BinaryOp("=", ColRef(i), Literal(v))
+
+
+class TestBudget:
+    def test_charges_accumulate(self):
+        budget = PlanningBudget(10)
+        budget.charge(4)
+        budget.charge(6)
+        assert budget.spent == 10
+        assert budget.remaining == 0
+
+    def test_exceeding_raises_with_details(self):
+        budget = PlanningBudget(5)
+        with pytest.raises(PlanningTimeoutError) as info:
+            budget.charge(6)
+        assert info.value.budget == 5
+        assert info.value.spent == 6
+
+    def test_remaining_never_negative(self):
+        budget = PlanningBudget(3)
+        try:
+            budget.charge(10)
+        except PlanningTimeoutError:
+            pass
+        assert budget.remaining == 0
+
+
+class TestHepPlanner:
+    def test_reaches_fixpoint(self):
+        tree = LogicalFilter(LogicalFilter(SCAN, lit(0, 1)), lit(1, 2))
+        result = HepPlanner([FilterMergeRule()]).optimize(tree)
+        assert isinstance(result, LogicalFilter)
+        assert isinstance(result.input, LogicalTableScan)
+
+    def test_no_matching_rule_is_identity(self):
+        tree = LogicalFilter(SCAN, lit(0, 1))
+        result = HepPlanner([FilterMergeRule()]).optimize(tree)
+        assert result.digest() == tree.digest()
+
+    def test_rules_apply_in_nested_positions(self):
+        inner = LogicalFilter(LogicalFilter(SCAN, lit(0, 1)), lit(1, 2))
+        # Wrap so the rewrite happens below the root.
+        from repro.rel.logical import LogicalProject
+        from repro.rel.expr import ColRef as C
+
+        tree = LogicalProject(inner, [C(0)], ["a"])
+        result = HepPlanner([FilterMergeRule()]).optimize(tree)
+        assert isinstance(result.input.input, LogicalTableScan)
+
+    def test_budget_charged_per_attempt(self):
+        budget = PlanningBudget(10 ** 6)
+        tree = LogicalFilter(LogicalFilter(SCAN, lit(0, 1)), lit(1, 2))
+        HepPlanner([FilterMergeRule()], budget).optimize(tree)
+        assert budget.spent > 0
+
+    def test_non_terminating_rule_detected(self):
+        class FlipFlop(Rule):
+            """Pathological rule that alternates two conditions forever."""
+
+            name = "FlipFlop"
+
+            def apply(self, node):
+                if not isinstance(node, LogicalFilter):
+                    return None
+                new_value = 1 if node.condition.right.value == 2 else 2
+                return LogicalFilter(node.input, lit(0, new_value))
+
+        tree = LogicalFilter(SCAN, lit(0, 1))
+        with pytest.raises(PlannerError):
+            HepPlanner([FlipFlop()]).optimize(tree)
+
+    def test_max_passes_guard_is_generous(self):
+        assert MAX_PASSES >= 32

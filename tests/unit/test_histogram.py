@@ -1,0 +1,106 @@
+"""Unit tests for equi-depth histograms and their estimator integration."""
+
+import random
+
+import pytest
+
+from repro.catalog.histogram import EquiDepthHistogram
+from repro.catalog.statistics import compute_table_stats
+
+
+class TestConstruction:
+    def test_uniform_values(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)))
+        assert histogram is not None
+        assert histogram.bucket_count >= 32
+        assert histogram.boundaries[0] == 0
+        assert histogram.boundaries[-1] == 999
+
+    def test_empty_and_constant_columns_yield_none(self):
+        assert EquiDepthHistogram.build([]) is None
+        assert EquiDepthHistogram.build([5]) is None
+        assert EquiDepthHistogram.build([7] * 100) is None
+
+    def test_nulls_are_dropped(self):
+        histogram = EquiDepthHistogram.build([None, 1, None, 2, 3])
+        assert histogram is not None
+
+    def test_too_few_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            EquiDepthHistogram([1])
+
+    def test_large_inputs_are_sampled(self):
+        histogram = EquiDepthHistogram.build(list(range(100_000)))
+        assert histogram is not None
+        assert len(histogram.boundaries) <= 65
+
+
+class TestEstimation:
+    def test_uniform_fraction_below(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)))
+        assert histogram.fraction_below(500) == pytest.approx(0.5, abs=0.05)
+        assert histogram.fraction_below(-10) == 0.0
+        assert histogram.fraction_below(5000) == 1.0
+
+    def test_range_fraction(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)))
+        assert histogram.range_fraction(250, 750) == pytest.approx(0.5, abs=0.05)
+        assert histogram.range_fraction(None, 100) == pytest.approx(0.1, abs=0.05)
+        assert histogram.range_fraction(900, None) == pytest.approx(0.1, abs=0.05)
+
+    def test_skewed_distribution(self):
+        """Equi-depth buckets track skew: 90 % of rows below 10."""
+        rng = random.Random(3)
+        values = [rng.randrange(10) for _ in range(9000)]
+        values += [rng.randrange(10, 1000) for _ in range(1000)]
+        histogram = EquiDepthHistogram.build(values)
+        below = histogram.fraction_below(10)
+        assert below == pytest.approx(0.9, abs=0.05)
+        # Linear min/max interpolation would have said ~1 %.
+        assert below > 0.5
+
+    def test_date_strings(self):
+        dates = [f"199{y}-0{m}-15" for y in range(5) for m in range(1, 10)]
+        histogram = EquiDepthHistogram.build(dates * 20)
+        below = histogram.fraction_below("1992-06-15")
+        assert 0.3 < below < 0.7
+
+
+class TestStatisticsIntegration:
+    def test_table_stats_carry_histograms(self):
+        rows = [(i, float(i % 7)) for i in range(500)]
+        stats = compute_table_stats(rows, ["k", "v"])
+        assert stats.column("k").histogram is not None
+        assert stats.column("v").histogram is not None
+
+    def test_constant_column_has_no_histogram(self):
+        rows = [(i, 1) for i in range(100)]
+        stats = compute_table_stats(rows, ["k", "c"])
+        assert stats.column("c").histogram is None
+
+    def test_estimator_uses_histogram_under_skew(self):
+        from repro.catalog.schema import Column, TableSchema
+        from repro.catalog.types import ColumnType
+        from repro.rel.expr import BinaryOp, ColRef, Literal
+        from repro.rel.logical import LogicalFilter, LogicalTableScan
+        from repro.stats.estimator import Estimator
+        from repro.storage.store import DataStore
+
+        rng = random.Random(9)
+        rows = [(i, float(rng.randrange(10))) for i in range(900)]
+        rows += [(900 + i, float(rng.randrange(10, 1000))) for i in range(100)]
+        store = DataStore(site_count=2)
+        store.create_table(
+            TableSchema(
+                "skew",
+                [Column("k", ColumnType.INTEGER), Column("v", ColumnType.DOUBLE)],
+                ["k"],
+            ),
+            rows,
+        )
+        estimator = Estimator(store, fixed_join_estimation=True)
+        scan = LogicalTableScan("skew", "skew", ["k", "v"])
+        node = LogicalFilter(scan, BinaryOp("<", ColRef(1), Literal(10.0)))
+        estimate = estimator.row_count(node)
+        actual = sum(1 for r in rows if r[1] < 10.0)
+        assert estimate == pytest.approx(actual, rel=0.15)

@@ -1,0 +1,109 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_recognised(self):
+        tokens = tokenize("select from where")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_are_lowercased(self):
+        assert values("LineItem L_OrderKey") == ["lineitem", "l_orderkey"]
+
+    def test_keywords_are_case_insensitive(self):
+        assert tokenize("SeLeCt")[0].is_keyword("select")
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_decimal_literal(self):
+        token = tokenize("0.05")[0]
+        assert token.value == pytest.approx(0.05)
+        assert isinstance(token.value, float)
+
+    def test_qualified_name_is_not_a_decimal(self):
+        assert values("t1.col") == ["t1", ".", "col"]
+
+    def test_string_literal(self):
+        token = tokenize("'ASIA'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "ASIA"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_eof_token_is_appended(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestSymbols:
+    @pytest.mark.parametrize(
+        "symbol", ["=", "<", ">", "<=", ">=", "<>", "(", ")", ",", "+", "-", "*", "/", ";"]
+    )
+    def test_symbol(self, symbol):
+        token = tokenize(symbol)[0]
+        assert token.type is TokenType.SYMBOL
+        assert token.value == symbol
+
+    def test_bang_equals_normalises_to_angle_brackets(self):
+        assert tokenize("!=")[0].value == "<>"
+
+    def test_two_char_symbols_win_over_one_char(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_is_skipped(self):
+        assert values("select -- comment here\n 1") == ["select", 1]
+
+    def test_comment_at_end_of_input(self):
+        assert values("1 -- trailing") == [1]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'unterminated")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("a\nb @")
+        assert info.value.line == 2
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestWholeStatements:
+    def test_representative_query_token_count(self):
+        sql = "select a, sum(b) from t where c >= 10 group by a order by a desc"
+        tokens = tokenize(sql)
+        assert tokens[-1].type is TokenType.EOF
+        assert len(tokens) == 21
+
+    def test_token_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "select", 1, 1)
+        assert token.is_keyword("select")
+        assert not token.is_keyword("from")

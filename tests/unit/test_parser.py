@@ -1,0 +1,259 @@
+"""Unit tests for the recursive-descent SQL parser."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError, UnsupportedSqlError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class TestSelectCore:
+    def test_simple_select(self):
+        stmt = parse("select a, b from t")
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.from_items[0], ast.TableRef)
+        assert stmt.from_items[0].name == "t"
+
+    def test_select_star(self):
+        stmt = parse("select * from t")
+        assert stmt.items[0].expr.star
+
+    def test_select_distinct(self):
+        assert parse("select distinct a from t").distinct
+
+    def test_column_alias_with_as(self):
+        assert parse("select a as x from t").items[0].alias == "x"
+
+    def test_column_alias_without_as(self):
+        assert parse("select a x from t").items[0].alias == "x"
+
+    def test_table_alias(self):
+        stmt = parse("select a from lineitem l")
+        assert stmt.from_items[0].alias == "l"
+
+    def test_comma_join(self):
+        stmt = parse("select a from t1, t2, t3")
+        assert len(stmt.from_items) == 3
+
+    def test_limit(self):
+        assert parse("select a from t limit 7").limit == 7
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a from t limit 1.5")
+
+    def test_trailing_semicolon_is_accepted(self):
+        parse("select a from t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a from t banana extra")
+
+
+class TestExpressions:
+    def _where(self, condition):
+        return parse(f"select a from t where {condition}").where
+
+    def test_precedence_or_under_and(self):
+        expr = self._where("a = 1 or b = 2 and c = 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "OR"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = self._where("a = 1 + 2 * 3")
+        assert isinstance(expr.right, ast.Binary)
+        assert expr.right.op == "+"
+        assert expr.right.right.op == "*"
+
+    def test_parenthesised_expression(self):
+        expr = self._where("(a + 1) * 2 = 4")
+        assert expr.left.op == "*"
+
+    def test_unary_minus_folds_into_literal(self):
+        expr = self._where("a = -5")
+        assert isinstance(expr.right, ast.NumberLiteral)
+        assert expr.right.value == -5
+
+    def test_between(self):
+        expr = self._where("a between 1 and 10")
+        assert isinstance(expr, ast.BetweenExpr)
+
+    def test_not_between(self):
+        expr = self._where("a not between 1 and 10")
+        assert expr.negated
+
+    def test_like(self):
+        expr = self._where("a like '%green%'")
+        assert isinstance(expr, ast.LikeExprAst)
+        assert expr.pattern == "%green%"
+
+    def test_not_like(self):
+        assert self._where("a not like 'x%'").negated
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlSyntaxError):
+            self._where("a like 5")
+
+    def test_in_list(self):
+        expr = self._where("a in (1, 2, 3)")
+        assert isinstance(expr, ast.InExpr)
+        assert expr.values is not None and len(expr.values) == 3
+        assert expr.subquery is None
+
+    def test_not_in_list(self):
+        assert self._where("a not in (1, 2)").negated
+
+    def test_in_subquery(self):
+        expr = self._where("a in (select b from s)")
+        assert isinstance(expr, ast.InExpr)
+        assert expr.subquery is not None
+
+    def test_exists(self):
+        expr = self._where("exists (select * from s)")
+        assert isinstance(expr, ast.ExistsExpr)
+        assert not expr.negated
+
+    def test_not_exists(self):
+        assert self._where("not exists (select * from s)").negated
+
+    def test_scalar_subquery(self):
+        expr = self._where("a > (select max(b) from s)")
+        assert isinstance(expr.right, ast.ScalarSubquery)
+
+    def test_is_null(self):
+        expr = self._where("a is null")
+        assert isinstance(expr, ast.IsNullExpr) and not expr.negated
+
+    def test_is_not_null(self):
+        assert self._where("a is not null").negated
+
+    def test_case_expression(self):
+        stmt = parse(
+            "select case when a = 1 then 'one' when a = 2 then 'two' "
+            "else 'many' end from t"
+        )
+        case = stmt.items[0].expr
+        assert isinstance(case, ast.Case)
+        assert len(case.whens) == 2
+        assert case.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select case else 1 end from t")
+
+    def test_date_literal(self):
+        expr = self._where("a >= date '1994-01-01'")
+        assert isinstance(expr.right, ast.StringLiteral)
+        assert expr.right.value == "1994-01-01"
+
+    def test_boolean_literals(self):
+        assert isinstance(self._where("a = true").right, ast.BoolLiteral)
+
+
+class TestFunctions:
+    def test_count_star(self):
+        call = parse("select count(*) from t").items[0].expr
+        assert call.star
+
+    def test_count_distinct(self):
+        call = parse("select count(distinct a) from t").items[0].expr
+        assert call.distinct
+
+    @pytest.mark.parametrize("fn", ["sum", "avg", "min", "max", "count"])
+    def test_aggregates(self, fn):
+        call = parse(f"select {fn}(a) from t").items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.name == fn
+
+    def test_extract_year(self):
+        call = parse("select extract(year from a) from t").items[0].expr
+        assert call.name == "extract_year"
+
+    def test_extract_month(self):
+        call = parse("select extract(month from a) from t").items[0].expr
+        assert call.name == "extract_month"
+
+    def test_extract_rejects_day(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select extract(day from a) from t")
+
+    def test_substring_from_for(self):
+        call = parse("select substring(a from 1 for 2) from t").items[0].expr
+        assert call.name == "substring"
+        assert len(call.args) == 3
+
+    def test_substring_comma_form(self):
+        call = parse("select substring(a, 1, 2) from t").items[0].expr
+        assert len(call.args) == 3
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select frobnicate(a) from t")
+
+
+class TestJoins:
+    def test_explicit_inner_join(self):
+        stmt = parse("select a from t1 join t2 on t1.x = t2.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinExpr)
+        assert join.kind == "inner"
+
+    def test_inner_keyword(self):
+        join = parse("select a from t1 inner join t2 on t1.x = t2.y").from_items[0]
+        assert join.kind == "inner"
+
+    def test_left_outer_join(self):
+        join = parse(
+            "select a from t1 left outer join t2 on t1.x = t2.y"
+        ).from_items[0]
+        assert join.kind == "left"
+
+    def test_left_join_without_outer(self):
+        join = parse("select a from t1 left join t2 on t1.x = t2.y").from_items[0]
+        assert join.kind == "left"
+
+    def test_chained_joins(self):
+        join = parse(
+            "select a from t1 join t2 on t1.x = t2.y join t3 on t2.y = t3.z"
+        ).from_items[0]
+        assert isinstance(join.left, ast.JoinExpr)
+
+    def test_derived_table(self):
+        stmt = parse("select a from (select b from t) as d")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "d"
+
+
+class TestClauses:
+    def test_group_by_multiple(self):
+        stmt = parse("select a, b, sum(c) from t group by a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_group_by_expression(self):
+        stmt = parse(
+            "select extract(year from d) from t group by extract(year from d)"
+        )
+        assert isinstance(stmt.group_by[0], ast.FunctionCall)
+
+    def test_having(self):
+        stmt = parse("select a, sum(b) from t group by a having sum(b) > 10")
+        assert stmt.having is not None
+
+    def test_order_by_desc(self):
+        stmt = parse("select a from t order by a desc, b asc, c")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+
+class TestUnsupported:
+    def test_create_view_is_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse("create view v as select a from t")
+
+    def test_create_table_is_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("create table t (a int)")
+
+    def test_union_is_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse("select a from t union select b from s")

@@ -1,0 +1,132 @@
+"""Unit tests for physical-node mechanics: copies, digests, costs, traits."""
+
+import pytest
+
+from repro.cost.model import Cost
+from repro.exec.physical import (
+    AggPhase,
+    PhysExchange,
+    PhysFilter,
+    PhysHashAggregate,
+    PhysHashJoin,
+    PhysProject,
+    PhysSort,
+    PhysTableScan,
+    PhysValues,
+    walk_physical,
+)
+from repro.rel.expr import BinaryOp, ColRef, Literal
+from repro.rel.logical import AggCall, AggFunc, JoinType
+from repro.rel.traits import Collation, Distribution
+
+
+def scan(dist=None):
+    node = PhysTableScan(
+        "t", "t", ["t.a", "t.b"], dist or Distribution.hash((0,)), 4
+    )
+    node.rows_est = 100.0
+    node.self_cost = Cost(cpu=100.0)
+    return node
+
+
+class TestCopies:
+    def test_copy_preserves_estimates_and_costs(self):
+        original = scan()
+        clone = original.copy([])
+        assert clone.rows_est == original.rows_est
+        assert clone.self_cost.value == original.self_cost.value
+        assert clone.digest() == original.digest()
+
+    def test_copy_rewires_inputs(self):
+        filt = PhysFilter(scan(), BinaryOp("=", ColRef(0), Literal(1)))
+        other = scan(Distribution.broadcast())
+        clone = filt.copy([other])
+        assert clone.input is other
+
+    def test_total_cost_sums_subtree(self):
+        inner = scan()
+        filt = PhysFilter(inner, BinaryOp("=", ColRef(0), Literal(1)))
+        filt.self_cost = Cost(cpu=50.0)
+        assert filt.total_cost().value == pytest.approx(150.0)
+
+
+class TestProjectTraitPropagation:
+    def test_hash_keys_remap_through_projection(self):
+        project = PhysProject(scan(), [ColRef(1), ColRef(0)], ["b", "a"])
+        assert project.distribution.is_hash
+        assert project.distribution.keys == (1,)
+
+    def test_lost_hash_key_degrades_to_opaque_hash(self):
+        project = PhysProject(scan(), [ColRef(1)], ["b"])
+        # Key column 0 was projected away: the placement is still spread
+        # over the sites but no longer expressible, so satisfaction fails.
+        from repro.rel.traits import satisfies
+
+        assert project.distribution.is_hash
+        assert not satisfies(project.distribution, Distribution.hash((0,)))
+
+    def test_collation_prefix_survives_projection(self):
+        sorted_scan = PhysSort(scan(), ((0, True), (1, True)))
+        project = PhysProject(sorted_scan, [ColRef(0)], ["a"])
+        assert project.collation.keys == ((0, True),)
+
+    def test_broadcast_passes_through(self):
+        project = PhysProject(
+            scan(Distribution.broadcast()), [ColRef(1)], ["b"]
+        )
+        assert project.distribution.is_broadcast
+
+
+class TestDigests:
+    def test_distinct_bounds_distinct_digests(self):
+        a = PhysFilter(scan(), BinaryOp("=", ColRef(0), Literal(1)))
+        b = PhysFilter(scan(), BinaryOp("=", ColRef(0), Literal(2)))
+        assert a.digest() != b.digest()
+
+    def test_join_digest_includes_algorithm_and_type(self):
+        left, right = scan(), scan(Distribution.broadcast())
+        hash_join = PhysHashJoin(
+            left, right, [(0, 0)], None, JoinType.SEMI, Distribution.single()
+        )
+        assert "semi" in hash_join.digest()
+        assert "HashJoin" in hash_join.digest()
+
+    def test_exchange_flag(self):
+        exchange = PhysExchange(scan(), Distribution.single())
+        assert exchange.is_exchange
+        assert not scan().is_exchange
+
+
+class TestAggregatePhases:
+    def test_reduction_flags(self):
+        def agg(phase):
+            return PhysHashAggregate(
+                scan(), (0,), (AggCall(AggFunc.COUNT, None),),
+                phase, Distribution.single(),
+            )
+
+        assert agg(AggPhase.SINGLE).is_reduction
+        assert agg(AggPhase.REDUCE).is_reduction
+        assert not agg(AggPhase.MAP).is_reduction
+
+    def test_output_fields(self):
+        agg = PhysHashAggregate(
+            scan(), (1,),
+            (AggCall(AggFunc.SUM, ColRef(0), name="total"),),
+            AggPhase.SINGLE, Distribution.single(),
+        )
+        assert agg.fields == ("t.b", "total")
+
+
+class TestWalk:
+    def test_preorder_traversal(self):
+        tree = PhysFilter(
+            PhysProject(scan(), [ColRef(0)], ["a"]),
+            BinaryOp("=", ColRef(0), Literal(1)),
+        )
+        kinds = [type(n).__name__ for n in walk_physical(tree)]
+        assert kinds == ["PhysFilter", "PhysProject", "PhysTableScan"]
+
+    def test_values_is_a_leaf(self):
+        values = PhysValues([(1,)], ["x"])
+        assert list(walk_physical(values)) == [values]

@@ -1,0 +1,142 @@
+"""Unit tests for the simulated cluster scheduler."""
+
+import pytest
+
+from repro.cluster.scheduler import (
+    SimTask,
+    TaskGraph,
+    WorkloadSimulator,
+    simulate_makespan,
+)
+from repro.common.constants import CORE_UNITS_PER_SECOND as RATE
+from repro.common.errors import ExecutionError
+
+
+def graph_of(*tasks):
+    graph = TaskGraph()
+    for site, units, deps in tasks:
+        graph.add(site, units, deps)
+    return graph
+
+
+class TestTaskGraph:
+    def test_total_units(self):
+        graph = graph_of((0, 100, ()), (1, 200, ()))
+        assert graph.total_units == 300
+
+    def test_critical_path_follows_dependencies(self):
+        graph = TaskGraph()
+        a = graph.add(0, 100)
+        b = graph.add(0, 50, [a])
+        graph.add(1, 120)
+        assert graph.critical_path_units() == 150
+
+    def test_task_duration(self):
+        task = SimTask(0, 0, RATE)
+        assert task.duration == 1.0
+
+
+class TestMakespan:
+    def test_single_task(self):
+        assert simulate_makespan(graph_of((0, RATE, ())), 1, 1) == pytest.approx(1.0)
+
+    def test_parallel_tasks_on_different_sites(self):
+        graph = graph_of((0, RATE, ()), (1, RATE, ()))
+        assert simulate_makespan(graph, 2, 1) == pytest.approx(1.0)
+
+    def test_serialised_on_one_core(self):
+        graph = graph_of((0, RATE, ()), (0, RATE, ()))
+        assert simulate_makespan(graph, 1, 1) == pytest.approx(2.0)
+
+    def test_two_cores_run_in_parallel(self):
+        graph = graph_of((0, RATE, ()), (0, RATE, ()))
+        assert simulate_makespan(graph, 1, 2) == pytest.approx(1.0)
+
+    def test_dependency_forces_sequence(self):
+        graph = TaskGraph()
+        a = graph.add(0, RATE)
+        graph.add(1, RATE, [a])
+        assert simulate_makespan(graph, 2, 4) == pytest.approx(2.0)
+
+    def test_makespan_at_least_critical_path(self):
+        graph = TaskGraph()
+        prev = []
+        for i in range(5):
+            prev = [graph.add(i % 2, RATE / 2, prev)]
+        makespan = simulate_makespan(graph, 2, 2)
+        assert makespan >= graph.critical_path_units() / RATE - 1e-9
+
+    def test_empty_graph(self):
+        assert simulate_makespan(TaskGraph(), 2, 2) == 0.0
+
+    def test_sites_wrap_modulo(self):
+        """Tasks built for an 8-site plan still run on a 4-site cluster."""
+        graph = graph_of((7, RATE, ()),)
+        assert simulate_makespan(graph, 4, 1) == pytest.approx(1.0)
+
+
+class TestWorkloadSimulator:
+    def test_latency_includes_queueing(self):
+        sim = WorkloadSimulator(1, 1)
+        graph = graph_of((0, RATE, ()))
+        sim.submit(graph, at=0.0, tag=0)
+        sim.submit(graph, at=0.0, tag=1)
+        sim.run()
+        first = sim.latency(0)
+        second = sim.latency(1)
+        assert {round(first, 3), round(second, 3)} == {1.0, 2.0}
+
+    def test_release_time_delays_start(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.submit(graph_of((0, RATE, ())), at=5.0, tag=0)
+        sim.run()
+        assert sim.completion_time(0) == pytest.approx(6.0)
+
+    def test_on_complete_callback_can_submit_more(self):
+        sim = WorkloadSimulator(1, 1)
+        graph = graph_of((0, RATE, ()))
+        submitted = []
+
+        def resubmit(tag, now):
+            if tag < 2:
+                new_tag = tag + 10
+                submitted.append(new_tag)
+                sim.submit(graph, at=now, tag=new_tag)
+
+        sim.on_complete = resubmit
+        sim.submit(graph, at=0.0, tag=0)
+        sim.run()
+        assert submitted == [10]
+        assert sim.completion_time(10) == pytest.approx(2.0)
+
+    def test_duplicate_open_tag_rejected(self):
+        sim = WorkloadSimulator(1, 1)
+        graph = graph_of((0, RATE, ()))
+        sim.submit(graph, at=0.0, tag=0)
+        with pytest.raises(ExecutionError):
+            sim.submit(graph, at=0.0, tag=0)
+
+    def test_unknown_completion_raises(self):
+        with pytest.raises(ExecutionError):
+            WorkloadSimulator(1, 1).completion_time(9)
+
+    def test_invalid_cluster_shape_rejected(self):
+        with pytest.raises(ExecutionError):
+            WorkloadSimulator(0, 1)
+
+    def test_contention_raises_latency(self):
+        """More concurrent clients on the same cores -> higher latency."""
+        def run(clients):
+            sim = WorkloadSimulator(1, 2)
+            graph = graph_of((0, RATE, ()))
+            for tag in range(clients):
+                sim.submit(graph, at=0.0, tag=tag)
+            sim.run()
+            return sum(sim.latency(t) for t in range(clients)) / clients
+
+        assert run(8) > run(2)
+
+    def test_empty_graph_completes_immediately(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.submit(TaskGraph(), at=3.0, tag=0)
+        assert sim.completion_time(0) == 3.0

@@ -1,0 +1,99 @@
+"""Unit tests for distribution and collation traits (Table 1)."""
+
+import pytest
+
+from repro.rel.traits import (
+    Collation,
+    Distribution,
+    DistributionType,
+    EMPTY_COLLATION,
+    satisfies,
+)
+
+SINGLE = Distribution.single()
+BROADCAST = Distribution.broadcast()
+HASH_A = Distribution.hash((0,))
+HASH_B = Distribution.hash((1,))
+ANY = Distribution.any()
+
+
+class TestSatisfactionMatrix:
+    """The paper's Table 1, row = source, column = target."""
+
+    @pytest.mark.parametrize(
+        "source,target,expected",
+        [
+            # Single row: satisfies only Single.
+            (SINGLE, SINGLE, True),
+            (SINGLE, BROADCAST, False),
+            (SINGLE, HASH_A, False),
+            # Broadcast row: satisfies everything.
+            (BROADCAST, SINGLE, True),
+            (BROADCAST, BROADCAST, True),
+            (BROADCAST, HASH_A, True),
+            # Hash row: never satisfies single; hash only on same keys.
+            (HASH_A, SINGLE, False),
+            (HASH_A, HASH_A, True),
+            (HASH_A, HASH_B, False),
+            (HASH_A, BROADCAST, False),
+        ],
+    )
+    def test_matrix(self, source, target, expected):
+        assert satisfies(source, target) is expected
+
+    def test_any_target_is_always_satisfied(self):
+        for source in (SINGLE, BROADCAST, HASH_A):
+            assert satisfies(source, ANY)
+
+
+class TestDistribution:
+    def test_hash_requires_keys(self):
+        with pytest.raises(ValueError):
+            Distribution(DistributionType.HASH)
+
+    def test_non_hash_rejects_keys(self):
+        with pytest.raises(ValueError):
+            Distribution(DistributionType.SINGLE, (0,))
+
+    def test_predicates(self):
+        assert SINGLE.is_single and not SINGLE.is_hash
+        assert BROADCAST.is_broadcast
+        assert HASH_A.is_hash
+
+    def test_remap_preserves_keys(self):
+        remapped = HASH_A.remap(lambda i: i + 3)
+        assert remapped.keys == (3,)
+
+    def test_remap_lost_key_returns_none(self):
+        assert HASH_A.remap(lambda i: None) is None
+
+    def test_remap_non_hash_is_identity(self):
+        assert SINGLE.remap(lambda i: None) is SINGLE
+
+    def test_equality_and_str(self):
+        assert Distribution.hash((0,)) == Distribution.hash((0,))
+        assert str(HASH_A) == "hash[0]"
+        assert str(SINGLE) == "single"
+
+
+class TestCollation:
+    def test_empty_is_unsorted(self):
+        assert not EMPTY_COLLATION.is_sorted
+
+    def test_prefix_satisfaction(self):
+        full = Collation(((0, True), (1, False)))
+        prefix = Collation(((0, True),))
+        assert full.satisfies(prefix)
+        assert not prefix.satisfies(full)
+
+    def test_direction_matters(self):
+        asc = Collation(((0, True),))
+        desc = Collation(((0, False),))
+        assert not asc.satisfies(desc)
+
+    def test_everything_satisfies_empty(self):
+        assert EMPTY_COLLATION.satisfies(EMPTY_COLLATION)
+        assert Collation(((2, True),)).satisfies(EMPTY_COLLATION)
+
+    def test_str(self):
+        assert str(Collation(((1, False),))) == "[$1 DESC]"
