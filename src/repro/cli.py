@@ -8,6 +8,8 @@
     repro-bench figure9   [--sf 0.5,1] [--sites 4]
     repro-bench table3    [--sf 1] [--sites 4,8] [--clients 2,4,8]
     repro-bench figure11  [--sf 0.5,1] [--sites 4,8]
+    repro-bench verify    [--queries tpch] [--seed 0] [--count 50]
+                          [--systems IC,IC+,IC+M] [--sf 0.05]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
                                    [--explain]
 
@@ -176,6 +178,58 @@ def cmd_query(args) -> None:
     )
 
 
+def cmd_verify(args) -> None:
+    from repro.verify.differential import differential_check
+    from repro.verify.generator import QueryGenerator, SSB_EXTRA_EDGES
+
+    loader = load_tpch_cluster if args.queries == "tpch" else load_ssb_cluster
+    extra_edges = SSB_EXTRA_EDGES if args.queries == "ssb" else ()
+    systems = [s.strip() for s in args.systems.split(",")]
+    unknown = [s for s in systems if s not in PRESETS]
+    if unknown:
+        print(
+            f"unknown system(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(PRESETS))})"
+        )
+        sys.exit(2)
+    sf = args.sf[0]
+    sites = args.sites[0]
+    seed_store = loader(PRESETS[systems[0]](sites), sf).store
+    generator = QueryGenerator(
+        seed_store, seed=args.seed, extra_edges=extra_edges
+    )
+    queries = generator.queries(args.count)
+    print(
+        f"differential check: {len(queries)} random {args.queries} queries "
+        f"(seed {args.seed}, sf {sf}, {sites} sites) "
+        f"x systems {', '.join(systems)}"
+    )
+    failures: List = []
+    for system in systems:
+        cluster = loader(PRESETS[system](sites), sf)
+        ok = skipped = 0
+        for sql in queries:
+            report = differential_check(
+                sql, cluster.store, cluster.config
+            )
+            if report.ok:
+                ok += 1
+            elif report.skipped:
+                skipped += 1
+            else:
+                failures.append(report)
+                print(f"[{system}] {report.status}: {sql}")
+                print(f"    {report.detail}")
+        print(
+            f"{system:<5} ok={ok} skipped={skipped} "
+            f"failed={len([f for f in failures if f.system == system])}"
+        )
+    if failures:
+        print(f"FAIL: {len(failures)} differential check(s) diverged")
+        sys.exit(1)
+    print("PASS: all differential checks agree with the reference executor")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -213,6 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure11", help="SSB, IC vs IC+M")
     common(p, default_sf="0.5,1")
     p.set_defaults(func=cmd_figure11)
+
+    p = sub.add_parser(
+        "verify", help="differential checks vs the reference executor"
+    )
+    p.add_argument("--queries", choices=("tpch", "ssb"), default="tpch")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--count", type=int, default=50)
+    p.add_argument("--systems", default="IC,IC+,IC+M")
+    common(p, default_sf="0.05", default_sites="4")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")

@@ -124,8 +124,14 @@ class WorkloadSimulator:
         self._submit_times[tag] = at
         self._open_tasks[tag] = len(graph.tasks)
         if not graph.tasks:
+            # An empty graph completes instantly — but it still completes:
+            # closed-loop clients block on the callback, so drop it and the
+            # workload wedges.  Clear the open entry first so the callback
+            # may resubmit under the same tag.
             self._completions[tag] = at
             del self._open_tasks[tag]
+            if self.on_complete is not None:
+                self.on_complete(tag, at)
             return
         for task in graph.tasks:
             global_id = next(self._ids)
@@ -184,13 +190,18 @@ class WorkloadSimulator:
                 self._enqueue(dependent, self._now)
 
     def _dispatch(self) -> None:
+        if not self._running:
+            # Idle cluster: jump forward to the earliest release across
+            # *all* sites.  Jumping to the first non-empty queue's head
+            # (the old behaviour) could skip past earlier releases at
+            # later-numbered sites, starting those tasks late.
+            heads = [q[0][0] for q in self._site_queues if q]
+            if heads:
+                self._now = max(self._now, min(heads))
         for site in range(self.sites):
             queue = self._site_queues[site]
             while self._free_cores[site] > 0 and queue:
                 release, _, task_id = queue[0]
-                if release > self._now and not self._running:
-                    # Idle cluster: jump forward to the next release.
-                    self._now = release
                 if release > self._now:
                     break
                 heapq.heappop(queue)

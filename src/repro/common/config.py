@@ -89,6 +89,13 @@ class SystemConfig:
     #: paper's 4 h cap was relative to second-to-minute query times.
     runtime_limit_seconds: float = 15.0
 
+    # ----- correctness harness ---------------------------------------------------
+    #: Run the differential correctness harness (repro.verify) on every
+    #: query: physical plans are checked against structural invariants
+    #: before execution, and ``IgniteCalciteCluster.sql`` additionally
+    #: cross-checks results against the single-node reference executor.
+    verify_execution: bool = False
+
     # ----- defects kept in both systems ------------------------------------------
     #: TPC-H Q20's planner defect is unresolved in the paper for *all*
     #: variants; flipping this documents what "fixed" would mean.

@@ -90,6 +90,32 @@ class ExecutionTimeoutError(ExecutionError):
         self.elapsed = elapsed
 
 
+class VerificationError(ReproError):
+    """Base class for failures raised by the correctness harness."""
+
+
+class PlanInvariantError(VerificationError):
+    """A physical plan violated a structural invariant.
+
+    Raised by :class:`repro.verify.invariants.PlanValidator` when a
+    post-optimization plan breaks trait, wiring, schema or cost invariants
+    that the planner/fragmenter contract guarantees.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
+class ResultMismatchError(VerificationError):
+    """The distributed engine's result diverged from the reference oracle."""
+
+    def __init__(self, message: str, sql: str = "", detail: str = ""):
+        super().__init__(message)
+        self.sql = sql
+        self.detail = detail
+
+
 class CatalogError(ReproError):
     """Schema/table registration problems (duplicate table, bad key, ...)."""
 

@@ -159,7 +159,26 @@ class IgniteCalciteCluster:
         return self._engine.execute(plan)
 
     def sql(self, sql: str) -> ExecutionResult:
-        """Plan and execute; raises on any failure."""
+        """Plan and execute; raises on any failure.
+
+        With ``verify_execution`` set, every query additionally runs
+        through the differential harness: the optimised plan is checked
+        against the structural invariants and the distributed result is
+        diffed against the reference executor.  A divergence raises
+        :class:`~repro.common.errors.VerificationError`.
+        """
+        if self.config.verify_execution:
+            # Imported lazily: the differential module imports the engine.
+            from repro.verify.differential import differential_check
+
+            report = differential_check(
+                sql, self.store, self.config, views=self._views
+            )
+            report.raise_on_failure()
+            if report.result is not None:
+                return report.result
+            # Skipped (e.g. planning budget): fall through so the caller
+            # sees the same exception an unverified run would raise.
         return self.execute_plan(self.plan_sql(sql))
 
     def try_sql(self, sql: str) -> QueryOutcome:

@@ -121,6 +121,11 @@ class ExecutionEngine:
 
     def execute(self, plan: PhysNode) -> ExecutionResult:
         fragments = fragment_plan(plan)
+        if self.config.verify_execution:
+            # Imported lazily: repro.verify imports this module.
+            from repro.verify.invariants import PlanValidator
+
+            PlanValidator().check(plan, fragments)
         # The runtime limit is a wall-clock cap.  A runaway nested-loop
         # join is serial per site, so the chargeable parallelism is fixed
         # (the paper's 4-hour cap did not stretch with cluster size), not
@@ -254,6 +259,7 @@ class ExecutionEngine:
             fragment_units = 0.0
             rows_out = 0
             for site in sites:
+                rows_out += ctx.op_rows.get((id(fragment.root), site), 0)
                 op_units = {
                     id(op): ctx.op_units.get((id(op), site), 0.0)
                     for op in fragment.operators()
@@ -267,7 +273,9 @@ class ExecutionEngine:
                         graph.add(site, site_units + FRAGMENT_SETUP_UNITS, deps)
                     )
                     continue
-                source_rows = self._source_rows(fragment, site, ctx)
+                source_rows = self._source_rows(
+                    fragment, site, ctx, variant_plan
+                )
                 overhead = (
                     VARIANT_SETUP_UNITS
                     + source_rows * VARIANT_SPLIT_UNITS_PER_ROW
@@ -291,10 +299,9 @@ class ExecutionEngine:
         return graph, stats
 
     def _source_rows(
-        self, fragment: Fragment, site: int, ctx: ExecContext
+        self, fragment: Fragment, site: int, ctx: ExecContext, variant_plan
     ) -> float:
         """Rows read by the fragment's sources at ``site`` (re-read cost)."""
-        variant_plan = plan_variants(fragment)
         if variant_plan is None:
             return 0.0
         rows = 0.0

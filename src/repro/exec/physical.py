@@ -224,6 +224,12 @@ class PhysProject(PhysNode):
         return f"PProject([{inner}], {self.inputs[0].digest()})"
 
 
+#: Synthetic hash key marking a distribution whose real keys were
+#: projected away (see :func:`_degraded`).  The plan validator whitelists
+#: this value when checking hash keys against operator widths.
+DEGRADED_HASH_KEY = 999_999
+
+
 def _degraded(input_node: PhysNode) -> Distribution:
     """Distribution after hash keys are projected away.
 
@@ -233,7 +239,7 @@ def _degraded(input_node: PhysNode) -> Distribution:
     exchange is forced when a specific placement is required.
     """
     if input_node.distribution.is_hash:
-        return Distribution.hash((999_999,))
+        return Distribution.hash((DEGRADED_HASH_KEY,))
     return input_node.distribution
 
 

@@ -1,0 +1,44 @@
+"""Differential correctness harness (reference oracle + plan invariants).
+
+``differential`` is exposed lazily (PEP 562): it imports the execution
+engine, and the engine in turn lazy-imports ``invariants`` from here when
+``SystemConfig.verify_execution`` is set — eager loading in both
+directions would make the import order fragile.
+"""
+
+from repro.verify.generator import (
+    JoinEdge,
+    QueryGenerator,
+    SchemaProfile,
+    SSB_EXTRA_EDGES,
+)
+from repro.verify.invariants import (
+    PlanValidator,
+    Violation,
+    validate_query_plan,
+)
+from repro.verify.reference import ReferenceExecutor
+
+__all__ = [
+    "DifferentialReport",
+    "JoinEdge",
+    "PlanValidator",
+    "QueryGenerator",
+    "ReferenceExecutor",
+    "SSB_EXTRA_EDGES",
+    "SchemaProfile",
+    "Violation",
+    "compare_results",
+    "differential_check",
+    "validate_query_plan",
+]
+
+_LAZY = {"differential_check", "compare_results", "DifferentialReport"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.verify import differential
+
+        return getattr(differential, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,209 @@
+"""Differential correctness checks: distributed engine vs. reference oracle.
+
+``differential_check`` runs one SQL query through both execution paths of
+the reproduction —
+
+1. parse -> logical plan -> :class:`ReferenceExecutor` (the single-node,
+   single-threaded oracle), and
+2. parse -> logical plan -> two-stage optimiser -> fragmentation ->
+   distributed :class:`ExecutionEngine` (the system under test),
+
+validates the optimised plan against the structural invariants, and diffs
+the two result multisets.  Floating point columns are canonicalised to six
+decimals so partition-order-dependent summation does not read as a
+divergence.  When the query's outermost operator is an ORDER BY, the
+engine's row order is additionally checked against the sort keys (multiset
+equality alone would let a broken merge-receiver slip through).
+
+Queries that fail in one of the paper's *classified* ways (planning budget
+exhausted, runtime limit, unsupported SQL) are reported as skipped — those
+are modelled behaviours of the system variant, not correctness bugs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import (
+    PlanInvariantError,
+    PlannerDefectError,
+    PlanningTimeoutError,
+    ExecutionTimeoutError,
+    ResultMismatchError,
+    UnsupportedSqlError,
+)
+from repro.exec.engine import ExecutionEngine, ExecutionResult
+from repro.exec.fragments import fragment_plan
+from repro.planner.volcano import QueryPlanner
+from repro.rel.logical import LogicalSort, RelNode
+from repro.rel.sql2rel import SqlToRelConverter
+from repro.sql.parser import parse
+from repro.storage.store import DataStore
+from repro.verify.invariants import PlanValidator, Violation
+from repro.verify.reference import ReferenceExecutor
+
+#: Statuses a differential check can end in.
+OK = "ok"
+MISMATCH = "mismatch"
+INVARIANT = "invariant_violation"
+SKIPPED = "skipped"
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential check for one (sql, config) pair."""
+
+    sql: str
+    system: str
+    status: str
+    detail: str = ""
+    violations: Tuple[Violation, ...] = ()
+    result: Optional[ExecutionResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def skipped(self) -> bool:
+        return self.status == SKIPPED
+
+    def raise_on_failure(self) -> None:
+        if self.status == INVARIANT:
+            raise PlanInvariantError(self.detail, self.violations)
+        if self.status == MISMATCH:
+            raise ResultMismatchError(
+                f"engine/reference divergence on {self.system}",
+                sql=self.sql,
+                detail=self.detail,
+            )
+
+
+def differential_check(
+    sql: str,
+    store: DataStore,
+    config: SystemConfig,
+    views: Optional[dict] = None,
+) -> DifferentialReport:
+    """Run ``sql`` through both paths and compare; never raises for the
+    modelled failure modes (returns a skipped report instead)."""
+    system = config.name
+    try:
+        statement = parse(sql, allow_views=config.views_supported)
+        converter = SqlToRelConverter(
+            store.catalog,
+            q20_defect_fixed=config.q20_defect_fixed,
+            views=views or {},
+        )
+        logical = converter.convert(statement)
+    except (UnsupportedSqlError, PlannerDefectError) as exc:
+        return DifferentialReport(
+            sql, system, SKIPPED, f"{type(exc).__name__}: {exc}"
+        )
+
+    try:
+        plan = QueryPlanner(store, config).plan(logical)
+    except (PlanningTimeoutError, PlannerDefectError, UnsupportedSqlError) as exc:
+        return DifferentialReport(
+            sql, system, SKIPPED, f"{type(exc).__name__}: {exc}"
+        )
+
+    validator = PlanValidator()
+    violations = validator.validate_plan(plan)
+    violations += validator.validate_fragments(fragment_plan(plan))
+    if violations:
+        lines = "\n".join(str(v) for v in violations)
+        return DifferentialReport(
+            sql,
+            system,
+            INVARIANT,
+            f"{len(violations)} invariant violation(s):\n{lines}",
+            tuple(violations),
+        )
+
+    try:
+        result = ExecutionEngine(store, config).execute(plan)
+    except ExecutionTimeoutError as exc:
+        return DifferentialReport(
+            sql, system, SKIPPED, f"ExecutionTimeoutError: {exc}"
+        )
+
+    reference_rows = ReferenceExecutor(store).execute(logical)
+    detail = compare_results(result.rows, reference_rows, logical)
+    if detail:
+        return DifferentialReport(sql, system, MISMATCH, detail, result=result)
+    return DifferentialReport(sql, system, OK, result=result)
+
+
+# ---------------------------------------------------------------------------
+# Result comparison
+# ---------------------------------------------------------------------------
+
+
+def compare_results(
+    engine_rows: Sequence[Tuple],
+    reference_rows: Sequence[Tuple],
+    logical: Optional[RelNode] = None,
+) -> str:
+    """Empty string when results agree; otherwise a human-readable diff.
+
+    Results are compared as multisets of canonicalised rows.  When the
+    logical plan's outermost operator is a Sort, the engine rows must also
+    respect the requested ordering (ties may legitimately differ).
+    """
+    engine_canon = [_canon_row(r) for r in engine_rows]
+    reference_canon = [_canon_row(r) for r in reference_rows]
+    problems: List[str] = []
+    if len(engine_canon) != len(reference_canon):
+        problems.append(
+            f"row count: engine={len(engine_canon)} "
+            f"reference={len(reference_canon)}"
+        )
+    engine_multiset = Counter(engine_canon)
+    reference_multiset = Counter(reference_canon)
+    if engine_multiset != reference_multiset:
+        extra = list((engine_multiset - reference_multiset).elements())[:3]
+        missing = list((reference_multiset - engine_multiset).elements())[:3]
+        if extra:
+            problems.append(f"engine-only rows (sample): {extra}")
+        if missing:
+            problems.append(f"reference-only rows (sample): {missing}")
+        if not extra and not missing:  # pragma: no cover - defensive
+            problems.append("multiset mismatch")
+    if (
+        not problems
+        and isinstance(logical, LogicalSort)
+        and logical.sort_keys
+        and not _respects_order(engine_canon, logical.sort_keys)
+    ):
+        problems.append(
+            f"engine rows do not respect ORDER BY keys {logical.sort_keys}"
+        )
+    return "; ".join(problems)
+
+
+def _canon_row(row: Tuple) -> Tuple:
+    return tuple(
+        round(value, 6) if isinstance(value, float) else value
+        for value in row
+    )
+
+
+def _respects_order(
+    rows: Sequence[Tuple], keys: Sequence[Tuple[int, bool]]
+) -> bool:
+    for previous, current in zip(rows, rows[1:]):
+        for index, ascending in keys:
+            a, b = previous[index], current[index]
+            if a is None or b is None:
+                break  # no total order over NULLs; skip this pair
+            if a == b:
+                continue
+            ordered = a < b if ascending else a > b
+            if not ordered:
+                return False
+            break
+    return True

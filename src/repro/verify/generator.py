@@ -1,0 +1,303 @@
+"""Seeded random query generation for property-based differential testing.
+
+Given a loaded :class:`DataStore`, the generator derives a *schema
+profile* — tables, column types and plausible equi-join edges — and emits
+deterministic pseudo-random SELECT statements over it: join chains with
+filters, aggregates, sorts and limits, always within the dialect the SQL
+front end supports.
+
+Join edges are inferred structurally: two columns are joinable when their
+names match exactly (``emp.dept_id = dept.dept_id``) or when their
+``prefix_suffix`` names share a ``*key`` suffix (``l_orderkey =
+o_orderkey`` — the TPC-H/SSB naming convention).  Benchmarks whose join
+keys do not follow either convention pass explicit extra edges
+(SSB's ``lo_orderdate = d_datekey``).
+
+Filter literals are sampled from the actual table data, so predicates hit
+real value ranges instead of filtering everything out.  To keep LIMIT
+queries deterministic under ties, a LIMIT is only emitted together with an
+ORDER BY over *all* selected columns (projection queries; identical rows
+are interchangeable) or all group keys (aggregate queries; group keys are
+unique per output row).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.storage.store import DataStore
+
+#: Explicit join edges for schemas whose key names don't line up.
+SSB_EXTRA_EDGES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("lineorder", "lo_orderdate", "date", "d_datekey"),
+)
+
+#: Rows sampled per table for literal generation.
+_SAMPLE_ROWS = 40
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One joinable column pair between two tables."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+
+class SchemaProfile:
+    """What the generator knows about a loaded store."""
+
+    def __init__(
+        self,
+        store: DataStore,
+        extra_edges: Sequence[Tuple[str, str, str, str]] = (),
+    ):
+        self.store = store
+        self.tables: Dict[str, TableSchema] = {
+            name: store.table(name).schema for name in store.table_names()
+        }
+        self.edges: List[JoinEdge] = _derive_edges(self.tables)
+        for left_table, left_column, right_table, right_column in extra_edges:
+            if left_table in self.tables and right_table in self.tables:
+                self.edges.append(
+                    JoinEdge(left_table, left_column, right_table, right_column)
+                )
+        #: table -> edges touching it (either side).
+        self.edges_of: Dict[str, List[JoinEdge]] = {t: [] for t in self.tables}
+        for edge in self.edges:
+            self.edges_of[edge.left_table].append(edge)
+            self.edges_of[edge.right_table].append(edge)
+        #: table -> a few real rows, for sampling filter literals.
+        self._samples: Dict[str, List[Tuple]] = {}
+
+    def sample_rows(self, table: str) -> List[Tuple]:
+        cached = self._samples.get(table)
+        if cached is None:
+            rows: List[Tuple] = []
+            for partition in self.store.table(table).partitions:
+                rows.extend(partition)
+                if len(rows) >= _SAMPLE_ROWS:
+                    break
+            cached = rows[:_SAMPLE_ROWS]
+            self._samples[table] = cached
+        return cached
+
+
+def _derive_edges(tables: Dict[str, TableSchema]) -> List[JoinEdge]:
+    names = sorted(tables)
+    edges: List[JoinEdge] = []
+    for i, left in enumerate(names):
+        for right in names[i + 1 :]:
+            for lcol in tables[left].column_names:
+                for rcol in tables[right].column_names:
+                    if _joinable(lcol, rcol):
+                        edges.append(JoinEdge(left, lcol, right, rcol))
+    return edges
+
+
+def _joinable(a: str, b: str) -> bool:
+    if a == b:
+        return True
+    a_suffix = a.split("_", 1)[-1]
+    b_suffix = b.split("_", 1)[-1]
+    return a_suffix == b_suffix and a_suffix.endswith("key")
+
+
+class QueryGenerator:
+    """Deterministic random SELECT generator over a schema profile."""
+
+    def __init__(
+        self,
+        store: DataStore,
+        seed: int = 0,
+        extra_edges: Sequence[Tuple[str, str, str, str]] = (),
+        max_joins: int = 2,
+    ):
+        self.profile = SchemaProfile(store, extra_edges)
+        self.rng = random.Random(seed)
+        self.max_joins = max_joins
+
+    def queries(self, count: int) -> List[str]:
+        return [self.query() for _ in range(count)]
+
+    def query(self) -> str:
+        rng = self.rng
+        tables, aliases, join_conjuncts = self._pick_join_chain()
+        filters = self._pick_filters(tables, aliases)
+        where = join_conjuncts + filters
+        if rng.random() < 0.45:
+            return self._aggregate_query(tables, aliases, where)
+        return self._projection_query(tables, aliases, where)
+
+    # -- FROM clause --------------------------------------------------------
+
+    def _pick_join_chain(self):
+        """A connected random walk over the join-edge graph."""
+        rng = self.rng
+        profile = self.profile
+        start = rng.choice(sorted(profile.tables))
+        tables = [start]
+        aliases = {start: "t0"}
+        conjuncts: List[str] = []
+        want = rng.randint(0, self.max_joins)
+        while len(tables) - 1 < want:
+            frontier = [
+                edge
+                for table in tables
+                for edge in profile.edges_of[table]
+                if (edge.left_table in aliases) != (edge.right_table in aliases)
+            ]
+            if not frontier:
+                break
+            edge = rng.choice(frontier)
+            if edge.left_table in aliases:
+                known_alias = aliases[edge.left_table]
+                known_column = edge.left_column
+                new_table, new_column = edge.right_table, edge.right_column
+            else:
+                known_alias = aliases[edge.right_table]
+                known_column = edge.right_column
+                new_table, new_column = edge.left_table, edge.left_column
+            alias = f"t{len(tables)}"
+            aliases[new_table] = alias
+            tables.append(new_table)
+            conjuncts.append(
+                f"{known_alias}.{known_column} = {alias}.{new_column}"
+            )
+        return tables, aliases, conjuncts
+
+    # -- WHERE clause -------------------------------------------------------
+
+    def _pick_filters(self, tables, aliases) -> List[str]:
+        rng = self.rng
+        filters: List[str] = []
+        for _ in range(rng.randint(0, 2)):
+            table = rng.choice(tables)
+            schema = self.profile.tables[table]
+            rows = self.profile.sample_rows(table)
+            if not rows:
+                continue
+            position = rng.randrange(schema.width)
+            column = schema.columns[position]
+            value = rng.choice(rows)[position]
+            if value is None:
+                continue
+            ref = f"{aliases[table]}.{column.name}"
+            filters.append(self._predicate(ref, value, rows, position))
+        return filters
+
+    def _predicate(self, ref: str, value, rows, position) -> str:
+        rng = self.rng
+        literal = _sql_literal(value)
+        if literal is None:
+            return f"{ref} is not null"
+        choice = rng.random()
+        if choice < 0.35:
+            op = rng.choice(["<", "<=", ">", ">="])
+            return f"{ref} {op} {literal}"
+        if choice < 0.6:
+            return f"{ref} = {literal}"
+        if choice < 0.8:
+            values = {
+                _sql_literal(row[position])
+                for row in rng.sample(rows, min(3, len(rows)))
+            }
+            values.add(literal)
+            values.discard(None)
+            return f"{ref} in ({', '.join(sorted(values))})"
+        return f"{ref} <> {literal}"
+
+    # -- SELECT shapes ------------------------------------------------------
+
+    def _projection_query(self, tables, aliases, where) -> str:
+        rng = self.rng
+        columns: List[str] = []
+        for table in tables:
+            schema = self.profile.tables[table]
+            count = rng.randint(1, min(3, schema.width))
+            for name in rng.sample(schema.column_names, count):
+                columns.append(f"{aliases[table]}.{name}")
+        sql = f"select {', '.join(columns)} from " + ", ".join(
+            f"{table} {aliases[table]}" for table in tables
+        )
+        if where:
+            sql += " where " + " and ".join(where)
+        if rng.random() < 0.5:
+            if rng.random() < 0.4:
+                # LIMIT needs a total order: sort by every output column.
+                directions = [
+                    f"{c}{' desc' if rng.random() < 0.3 else ''}"
+                    for c in columns
+                ]
+                sql += " order by " + ", ".join(directions)
+                sql += f" limit {rng.randint(1, 20)}"
+            else:
+                count = rng.randint(1, len(columns))
+                directions = [
+                    f"{c}{' desc' if rng.random() < 0.3 else ''}"
+                    for c in rng.sample(columns, count)
+                ]
+                sql += " order by " + ", ".join(directions)
+        return sql
+
+    def _aggregate_query(self, tables, aliases, where) -> str:
+        rng = self.rng
+        group_columns: List[str] = []
+        if rng.random() < 0.8:
+            table = rng.choice(tables)
+            schema = self.profile.tables[table]
+            count = rng.randint(1, min(2, schema.width))
+            for name in rng.sample(schema.column_names, count):
+                group_columns.append(f"{aliases[table]}.{name}")
+        agg_items = ["count(*)"]
+        numeric = [
+            (table, column.name)
+            for table in tables
+            for column in self.profile.tables[table].columns
+            if column.type.is_numeric
+        ]
+        for _ in range(rng.randint(0, 2)):
+            if not numeric:
+                break
+            table, name = rng.choice(numeric)
+            func = rng.choice(["sum", "min", "max", "avg"])
+            agg_items.append(f"{func}({aliases[table]}.{name})")
+        items = group_columns + agg_items
+        sql = f"select {', '.join(items)} from " + ", ".join(
+            f"{table} {aliases[table]}" for table in tables
+        )
+        if where:
+            sql += " where " + " and ".join(where)
+        if group_columns:
+            sql += " group by " + ", ".join(group_columns)
+            if rng.random() < 0.5:
+                # Group keys are unique per row, so ordering by all of
+                # them is total and LIMIT stays deterministic.
+                directions = [
+                    f"{c}{' desc' if rng.random() < 0.3 else ''}"
+                    for c in group_columns
+                ]
+                sql += " order by " + ", ".join(directions)
+                if rng.random() < 0.5:
+                    sql += f" limit {rng.randint(1, 10)}"
+        return sql
+
+
+def _sql_literal(value) -> Optional[str]:
+    """Render a sampled Python value as a SQL literal (None if unsafe)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        if "'" in value:
+            return None
+        return f"'{value}'"
+    return None

@@ -1,6 +1,37 @@
-"""Pytest path setup so tests can import the shared helpers module."""
+"""Pytest path setup plus the always-on plan-invariant net.
+
+The autouse fixture wraps ``ExecutionEngine.execute`` so that *every*
+physical plan executed anywhere in the suite is first checked against the
+structural invariants in :mod:`repro.verify.invariants`.  Any test that
+drives a query through the engine therefore doubles as an invariant test:
+a planner regression that produces a malformed plan fails loudly at the
+point of execution instead of as a silent wrong answer downstream.
+"""
 
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.exec.engine import ExecutionEngine  # noqa: E402
+from repro.verify.invariants import PlanValidator  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _validate_every_executed_plan(monkeypatch):
+    original = ExecutionEngine.execute
+    validator = PlanValidator()
+
+    def checked_execute(self, plan):
+        validator.check(plan)
+        return original(self, plan)
+
+    # Tests that need the engine's own behaviour (e.g. the
+    # verify_execution flag) can reach the unwrapped method here.
+    checked_execute.__wrapped__ = original
+    monkeypatch.setattr(ExecutionEngine, "execute", checked_execute)

@@ -1,0 +1,87 @@
+"""Integration test for the ``repro-bench verify`` subcommand."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestVerifyCli:
+    def test_parser_accepts_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.queries == "tpch"
+        assert args.seed == 0
+        assert args.count == 50
+        assert args.systems == "IC,IC+,IC+M"
+        assert args.sf == (0.05,)
+
+    def test_small_tpch_sweep_passes(self, capsys):
+        main(
+            [
+                "verify",
+                "--queries",
+                "tpch",
+                "--seed",
+                "1",
+                "--count",
+                "5",
+                "--sf",
+                "0.02",
+                "--systems",
+                "IC+",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "5 random tpch queries" in out
+        assert "PASS" in out
+        assert "failed=0" in out
+
+    def test_small_ssb_sweep_passes(self, capsys):
+        main(
+            [
+                "verify",
+                "--queries",
+                "ssb",
+                "--seed",
+                "2",
+                "--count",
+                "4",
+                "--sf",
+                "0.02",
+                "--systems",
+                "IC",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_mismatch_exits_nonzero(self, capsys, monkeypatch):
+        # Force the comparison itself to report a divergence and check the
+        # command surfaces it as a failing exit code.
+        import repro.verify.differential as differential
+
+        def broken_compare(engine_rows, reference_rows, logical=None):
+            return "forced divergence (test)"
+
+        monkeypatch.setattr(
+            differential, "compare_results", broken_compare
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "verify",
+                    "--queries",
+                    "tpch",
+                    "--seed",
+                    "1",
+                    "--count",
+                    "2",
+                    "--sf",
+                    "0.02",
+                    "--systems",
+                    "IC+",
+                ]
+            )
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "mismatch" in out

@@ -1,0 +1,86 @@
+"""Property tests: distributed execution == reference oracle.
+
+Seeded random queries are generated per schema and every one must agree
+with the single-node reference executor under all three system presets
+(IC, IC+, IC+M), with zero invariant violations along the way.  Marked
+``verify`` so the differential sweep can be selected (or deselected)
+explicitly with ``-m verify``.
+"""
+
+import pytest
+
+from helpers import make_company_store
+from repro.common.config import PRESETS
+from repro.verify.differential import differential_check
+from repro.verify.generator import QueryGenerator, SSB_EXTRA_EDGES
+
+SYSTEMS = ["IC", "IC+", "IC+M"]
+
+
+def run_sweep(store, queries, system, extra_ok_statuses=()):
+    config = PRESETS[system](store.site_count)
+    failures = []
+    checked = 0
+    for sql in queries:
+        report = differential_check(sql, store, config)
+        if report.skipped:
+            continue
+        checked += 1
+        if not report.ok and report.status not in extra_ok_statuses:
+            failures.append(f"[{report.status}] {sql}\n{report.detail}")
+    assert not failures, "\n\n".join(failures)
+    return checked
+
+
+@pytest.mark.verify
+class TestCompanySchema:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return make_company_store(sites=4)
+
+    @pytest.fixture(scope="class")
+    def queries(self, store):
+        return QueryGenerator(store, seed=0).queries(50)
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_fifty_random_queries_agree(self, store, queries, system):
+        checked = run_sweep(store, queries, system)
+        assert checked >= 45  # nearly nothing should be skipped
+
+
+@pytest.mark.verify
+class TestTpchSchema:
+    @pytest.fixture(scope="class")
+    def store(self):
+        from repro.bench.tpch import load_tpch_cluster
+
+        return load_tpch_cluster(PRESETS["IC+"](4), 0.02).store
+
+    @pytest.fixture(scope="class")
+    def queries(self, store):
+        return QueryGenerator(store, seed=0).queries(20)
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_twenty_random_queries_agree(self, store, queries, system):
+        checked = run_sweep(store, queries, system)
+        assert checked >= 15
+
+
+@pytest.mark.verify
+class TestSsbSchema:
+    @pytest.fixture(scope="class")
+    def store(self):
+        from repro.bench.ssb import load_ssb_cluster
+
+        return load_ssb_cluster(PRESETS["IC+"](4), 0.02).store
+
+    @pytest.fixture(scope="class")
+    def queries(self, store):
+        return QueryGenerator(
+            store, seed=0, extra_edges=SSB_EXTRA_EDGES
+        ).queries(15)
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_fifteen_random_queries_agree(self, store, queries, system):
+        checked = run_sweep(store, queries, system)
+        assert checked >= 11

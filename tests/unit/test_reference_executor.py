@@ -1,0 +1,173 @@
+"""Unit tests for the reference (oracle) executor.
+
+The oracle itself needs grounding: here it is cross-checked against the
+even simpler ``naive_execute`` interpreter the suite has always used, and
+against hand-computed answers on the company data set.
+"""
+
+import pytest
+
+from helpers import make_company_store, naive_execute, normalise
+from repro.rel.expr import BinaryOp, ColRef, Literal
+from repro.rel.logical import (
+    JoinType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalTableScan,
+)
+from repro.rel.sql2rel import SqlToRelConverter
+from repro.sql.parser import parse
+from repro.verify.reference import ReferenceExecutor, push_filters
+
+QUERIES = [
+    "select * from dept",
+    "select name, salary from emp where salary > 100000",
+    "select e.name, d.dept_name from emp e, dept d "
+    "where e.dept_id = d.dept_id",
+    "select d.dept_name, count(*), sum(e.salary) from emp e, dept d "
+    "where e.dept_id = d.dept_id group by d.dept_name",
+    "select region, avg(amount) from sales group by region "
+    "order by region desc",
+    "select count(*) from emp e, sales s, dept d "
+    "where e.emp_id = s.emp_id and e.dept_id = d.dept_id "
+    "and s.amount > 2500",
+    "select name from emp where exists "
+    "(select 1 from sales s where s.emp_id = emp.emp_id "
+    "and s.amount > 4900)",
+    "select dept_id, max(salary) from emp group by dept_id "
+    "order by dept_id limit 3",
+]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return make_company_store(sites=4)
+
+
+def to_logical(store, sql):
+    return SqlToRelConverter(store.catalog).convert(parse(sql))
+
+
+class TestAgainstNaiveInterpreter:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_matches_naive_execute(self, store, sql):
+        logical = to_logical(store, sql)
+        reference = ReferenceExecutor(store).execute(logical)
+        naive = naive_execute(logical, store)
+        ordered = sql.lower().find("order by") >= 0
+        assert normalise(reference) == normalise(naive)
+        if ordered and "limit" not in sql.lower():
+            assert normalise(reference, ordered=True) == normalise(
+                naive, ordered=True
+            )
+
+
+class TestHandComputed:
+    def test_scan_returns_all_partitions(self, store):
+        rows = ReferenceExecutor(store).execute(
+            to_logical(store, "select * from sales")
+        )
+        assert len(rows) == store.row_count("sales") == 500
+
+    def test_scalar_aggregate_over_empty_input_yields_one_row(self, store):
+        rows = ReferenceExecutor(store).execute(
+            to_logical(store, "select count(*), sum(salary) from emp "
+                              "where salary < 0")
+        )
+        assert rows == [(0, None)]
+
+    def test_group_by_over_empty_input_yields_no_rows(self, store):
+        rows = ReferenceExecutor(store).execute(
+            to_logical(store, "select dept_id, count(*) from emp "
+                              "where salary < 0 group by dept_id")
+        )
+        assert rows == []
+
+    def test_join_row_count_matches_python(self, store):
+        rows = ReferenceExecutor(store).execute(
+            to_logical(
+                store,
+                "select e.emp_id, s.sale_id from emp e, sales s "
+                "where e.emp_id = s.emp_id",
+            )
+        )
+        emp = [r for p in store.table("emp").partitions for r in p]
+        sales = [r for p in store.table("sales").partitions for r in p]
+        expected = sum(
+            1 for e in emp for s in sales if e[0] == s[1]
+        )
+        assert len(rows) == expected == 500
+
+    def test_left_join_pads_unmatched_rows(self, store):
+        scan_dept = LogicalTableScan(
+            "dept", "d", store.catalog.table("dept").column_names
+        )
+        scan_emp = LogicalTableScan(
+            "emp", "e", store.catalog.table("emp").column_names
+        )
+        # dept.dept_id = emp.dept_id, but only employees of dept 1.
+        filtered = LogicalFilter(
+            scan_emp,
+            BinaryOp("=", ColRef(1, "dept_id"), Literal(1)),
+        )
+        join = LogicalJoin(
+            scan_dept,
+            filtered,
+            BinaryOp("=", ColRef(0, "dept_id"), ColRef(3 + 1, "dept_id")),
+            JoinType.LEFT,
+        )
+        rows = ReferenceExecutor(store).execute(join)
+        unmatched = [r for r in rows if r[3] is None]
+        matched = [r for r in rows if r[3] is not None]
+        assert matched and unmatched
+        assert all(r[0] == 1 for r in matched)
+        assert all(r[0] != 1 for r in unmatched)
+
+
+class TestFilterPushdown:
+    def test_pushdown_preserves_semantics(self, store):
+        sql = (
+            "select e.name, d.dept_name, s.amount "
+            "from emp e, dept d, sales s "
+            "where e.dept_id = d.dept_id and e.emp_id = s.emp_id "
+            "and s.amount > 4000 and d.dept_name <> 'dept3'"
+        )
+        logical = to_logical(store, sql)
+        executor = ReferenceExecutor(store)
+        pushed = executor._eval(push_filters(logical))
+        raw = executor._eval(logical)
+        assert normalise(pushed) == normalise(raw)
+
+    def test_pushdown_moves_single_side_conjuncts_below_join(self, store):
+        logical = to_logical(
+            store,
+            "select e.name from emp e, dept d "
+            "where e.dept_id = d.dept_id and e.salary > 150000",
+        )
+        rewritten = push_filters(logical)
+
+        def has_filter_above_join(node):
+            if isinstance(node, LogicalFilter) and isinstance(
+                node.input, LogicalJoin
+            ):
+                return True
+            return any(has_filter_above_join(c) for c in node.inputs)
+
+        assert not has_filter_above_join(rewritten)
+
+    def test_pushdown_keeps_aggregates_intact(self, store):
+        logical = to_logical(
+            store,
+            "select dept_id, count(*) from emp group by dept_id",
+        )
+        rewritten = push_filters(logical)
+        kinds = set()
+
+        def collect(node):
+            kinds.add(type(node))
+            for child in node.inputs:
+                collect(child)
+
+        collect(rewritten)
+        assert LogicalAggregate in kinds

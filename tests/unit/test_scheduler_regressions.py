@@ -1,0 +1,94 @@
+"""Regression tests for WorkloadSimulator scheduling bugs.
+
+Both bugs here shipped in the seed: the idle-cluster time jump advanced
+``_now`` to the first *iterated* site's queue head instead of the global
+minimum across all sites, and an empty task graph recorded its completion
+without firing ``on_complete`` (wedging closed-loop clients).
+"""
+
+import pytest
+
+from repro.cluster.scheduler import (
+    CORE_UNITS_PER_SECOND,
+    TaskGraph,
+    WorkloadSimulator,
+)
+
+
+def one_task_graph(site: int, units: float) -> TaskGraph:
+    graph = TaskGraph()
+    graph.add(site, units)
+    return graph
+
+
+class TestIdleJump:
+    def test_idle_jump_uses_global_minimum_release(self):
+        # Site 0 holds a task released at t=5, site 1 a task released at
+        # t=1.  An idle cluster must jump to t=1 (the global minimum),
+        # not to t=5 just because site 0 is iterated first.
+        simulator = WorkloadSimulator(sites=2, cores_per_site=1)
+        units = 2_000.0
+        duration = units / CORE_UNITS_PER_SECOND
+        simulator.submit(one_task_graph(0, units), at=5.0, tag=0)
+        simulator.submit(one_task_graph(1, units), at=1.0, tag=1)
+        simulator.run()
+        assert simulator.completion_time(1) == pytest.approx(1.0 + duration)
+        assert simulator.completion_time(0) == pytest.approx(5.0 + duration)
+
+    def test_idle_jump_never_rewinds_time(self):
+        simulator = WorkloadSimulator(sites=2, cores_per_site=1)
+        units = 1_000.0
+        duration = units / CORE_UNITS_PER_SECOND
+        simulator.submit(one_task_graph(0, units), at=2.0, tag=0)
+        simulator.run()
+        assert simulator.now == pytest.approx(2.0 + duration)
+        # A later submission with an earlier release runs "now", not in
+        # the past.
+        simulator.submit(one_task_graph(1, units), at=0.5, tag=1)
+        finish = simulator.run()
+        assert finish >= simulator.completion_time(0)
+        assert simulator.completion_time(1) >= simulator.completion_time(0)
+
+    def test_staggered_releases_across_sites(self):
+        # Three sites with releases 3.0 / 1.0 / 2.0: each task starts at
+        # its own release (all sites have a free core).
+        simulator = WorkloadSimulator(sites=3, cores_per_site=1)
+        units = 400.0
+        duration = units / CORE_UNITS_PER_SECOND
+        for site, (release, tag) in enumerate([(3.0, 0), (1.0, 1), (2.0, 2)]):
+            simulator.submit(one_task_graph(site, units), at=release, tag=tag)
+        simulator.run()
+        assert simulator.completion_time(1) == pytest.approx(1.0 + duration)
+        assert simulator.completion_time(2) == pytest.approx(2.0 + duration)
+        assert simulator.completion_time(0) == pytest.approx(3.0 + duration)
+
+
+class TestEmptyGraphCompletion:
+    def test_empty_graph_fires_on_complete(self):
+        simulator = WorkloadSimulator(sites=1, cores_per_site=1)
+        fired = []
+        simulator.on_complete = lambda tag, at: fired.append((tag, at))
+        simulator.submit(TaskGraph(), at=2.5, tag=7)
+        assert fired == [(7, 2.5)]
+        assert simulator.completion_time(7) == 2.5
+
+    def test_empty_graph_callback_may_resubmit_same_tag(self):
+        # Closed-loop clients resubmit under their own tag from the
+        # callback; the open-tasks entry must already be cleared.
+        simulator = WorkloadSimulator(sites=1, cores_per_site=1)
+        submissions = []
+
+        def resubmit(tag, at):
+            submissions.append((tag, at))
+            if len(submissions) < 3:
+                simulator.submit(TaskGraph(), at=at + 1.0, tag=tag)
+
+        simulator.on_complete = resubmit
+        simulator.submit(TaskGraph(), at=0.0, tag=1)
+        assert submissions == [(1, 0.0), (1, 1.0), (1, 2.0)]
+
+    def test_empty_graph_without_callback_still_completes(self):
+        simulator = WorkloadSimulator(sites=1, cores_per_site=1)
+        simulator.submit(TaskGraph(), at=4.0, tag=2)
+        assert simulator.completion_time(2) == 4.0
+        assert simulator.latency(2) == 0.0
