@@ -116,6 +116,29 @@ class ResponseTimeHarness:
         )
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    Deterministic and exact for the small samples the chaos and AQL
+    harnesses produce (no interpolation: the returned value is always an
+    observed latency).
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[float, float]:
+    """The chaos report's latency summary: {q: percentile} over ``values``."""
+    return {q: percentile(values, q) for q in qs}
+
+
 def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
     """Mean and 95 % CI half-width (normal approximation) for error bars."""
     n = len(values)

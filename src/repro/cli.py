@@ -10,12 +10,20 @@
     repro-bench figure11  [--sf 0.5,1] [--sites 4,8]
     repro-bench verify    [--queries tpch] [--seed 0] [--count 50]
                           [--systems IC,IC+,IC+M] [--sf 0.05]
+    repro-bench chaos     [--queries tpch] [--seed 0] [--kill-site 2@t=0.5]
+                          [--slow-site 1x4@t=0.2] [--drop-exchange 3@t=0.1]
+                          [--oom-fragment 2@t=0.0] [--retries 2]
+                          [--deadline 5.0] [--system IC+] [--sf 0.05]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
                                    [--explain]
 
 Each figure command re-runs the corresponding paper experiment on the
 simulated cluster and prints the table.  ``query`` runs ad-hoc SQL against
-a loaded TPC-H or SSB cluster.
+a loaded TPC-H or SSB cluster.  ``chaos`` replays the workload under an
+injected fault schedule and reports availability, retries and latency
+percentiles; ``verify`` exits with a distinct code per failure class (see
+``EXIT_*`` below) so CI can tell a wrong answer from a broken invariant
+from a harness crash.
 """
 
 from __future__ import annotations
@@ -35,6 +43,15 @@ from repro.bench.tpch import (
 from repro.common.config import PRESETS, SystemConfig
 
 TPCH_QUERIES = {f"Q{qid}": QUERIES[qid].sql for qid in ENABLED_QUERY_IDS}
+
+#: ``repro-bench verify``/``chaos`` exit codes.  Distinct codes let CI
+#: classify a failure without parsing stdout; crash > invariant > mismatch
+#: when several classes occur in one sweep.
+EXIT_OK = 0
+EXIT_MISMATCH = 1   # distributed rows diverged from the reference executor
+EXIT_INVARIANT = 2  # an optimised plan violated a structural invariant
+EXIT_CRASH = 3      # the harness itself raised — a bug in the repro
+EXIT_USAGE = 64     # bad arguments (BSD EX_USAGE)
 
 
 def _floats(raw: str) -> Tuple[float, ...]:
@@ -179,7 +196,7 @@ def cmd_query(args) -> None:
 
 
 def cmd_verify(args) -> None:
-    from repro.verify.differential import differential_check
+    from repro.verify.differential import INVARIANT, differential_check
     from repro.verify.generator import QueryGenerator, SSB_EXTRA_EDGES
 
     loader = load_tpch_cluster if args.queries == "tpch" else load_ssb_cluster
@@ -191,7 +208,7 @@ def cmd_verify(args) -> None:
             f"unknown system(s): {', '.join(unknown)} "
             f"(choose from {', '.join(sorted(PRESETS))})"
         )
-        sys.exit(2)
+        sys.exit(EXIT_USAGE)
     sf = args.sf[0]
     sites = args.sites[0]
     seed_store = loader(PRESETS[systems[0]](sites), sf).store
@@ -205,13 +222,21 @@ def cmd_verify(args) -> None:
         f"x systems {', '.join(systems)}"
     )
     failures: List = []
+    crashes: List[str] = []
     for system in systems:
         cluster = loader(PRESETS[system](sites), sf)
-        ok = skipped = 0
+        ok = skipped = crashed = 0
         for sql in queries:
-            report = differential_check(
-                sql, cluster.store, cluster.config
-            )
+            try:
+                report = differential_check(
+                    sql, cluster.store, cluster.config
+                )
+            except Exception as exc:  # the harness must never die silently
+                crashed += 1
+                crashes.append(f"[{system}] {type(exc).__name__}: {exc}")
+                print(f"[{system}] crash: {sql}")
+                print(f"    {type(exc).__name__}: {exc}")
+                continue
             if report.ok:
                 ok += 1
             elif report.skipped:
@@ -222,12 +247,65 @@ def cmd_verify(args) -> None:
                 print(f"    {report.detail}")
         print(
             f"{system:<5} ok={ok} skipped={skipped} "
-            f"failed={len([f for f in failures if f.system == system])}"
+            f"failed={len([f for f in failures if f.system == system])} "
+            f"crashed={crashed}"
         )
+    if crashes:
+        print(f"CRASH: {len(crashes)} harness crash(es)")
+        sys.exit(EXIT_CRASH)
+    invariants = [f for f in failures if f.status == INVARIANT]
+    if invariants:
+        print(
+            f"FAIL: {len(invariants)} invariant violation(s) "
+            f"({len(failures)} total divergences)"
+        )
+        sys.exit(EXIT_INVARIANT)
     if failures:
         print(f"FAIL: {len(failures)} differential check(s) diverged")
-        sys.exit(1)
+        sys.exit(EXIT_MISMATCH)
     print("PASS: all differential checks agree with the reference executor")
+
+
+def cmd_chaos(args) -> None:
+    from repro.common.errors import ReproError
+    from repro.faults import run_chaos
+    from repro.faults.injector import parse_fault
+
+    faults = []
+    for kind, specs in (
+        ("kill-site", args.kill_site),
+        ("slow-site", args.slow_site),
+        ("delay-exchange", args.delay_exchange),
+        ("drop-exchange", args.drop_exchange),
+        ("oom-fragment", args.oom_fragment),
+    ):
+        for spec in specs:
+            try:
+                faults.append(parse_fault(kind, spec))
+            except (ReproError, ValueError) as exc:
+                print(f"bad --{kind} spec: {exc}")
+                sys.exit(EXIT_USAGE)
+    if args.queries == "tpch":
+        loader, workload = load_tpch_cluster, TPCH_QUERIES
+    else:
+        loader = load_ssb_cluster
+        workload = {qid: SSB_QUERIES[qid].sql for qid in SSB_QUERIES}
+    config = PRESETS[args.system](args.sites[0]).with_(
+        faults=tuple(faults),
+        max_retries=args.retries,
+        query_deadline_seconds=args.deadline,
+        failover_redispatch=not args.no_redispatch,
+    )
+    cluster = loader(config, args.sf[0])
+    report = run_chaos(
+        cluster,
+        workload,
+        seed=args.seed,
+        verify_oracle=not args.no_oracle,
+    )
+    print(report.to_text())
+    if not report.oracle_clean:
+        sys.exit(EXIT_MISMATCH)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,6 +355,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--systems", default="IC,IC+,IC+M")
     common(p, default_sf="0.05", default_sites="4")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "chaos", help="run the workload under an injected fault schedule"
+    )
+    p.add_argument("--queries", choices=("tpch", "ssb"), default="tpch")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--system", choices=sorted(PRESETS), default="IC+")
+    p.add_argument(
+        "--kill-site", action="append", default=[], metavar="SITE[@t=T]",
+        help="crash a site at simulated time T (e.g. 2@t=0.5)",
+    )
+    p.add_argument(
+        "--slow-site", action="append", default=[],
+        metavar="SITExFACTOR[@t=T]",
+        help="slow a site's cores by FACTOR from time T (e.g. 1x4@t=0.2)",
+    )
+    p.add_argument(
+        "--delay-exchange", action="append", default=[],
+        metavar="IDxSECONDS[@t=T]",
+        help="delay an exchange by SECONDS (-1 = any exchange)",
+    )
+    p.add_argument(
+        "--drop-exchange", action="append", default=[],
+        metavar="ID[@t=T]",
+        help="drop an exchange once (-1 = first exchange of the attempt)",
+    )
+    p.add_argument(
+        "--oom-fragment", action="append", default=[],
+        metavar="ID[@t=T]",
+        help="OOM-kill a fragment once (-1 = any fragment)",
+    )
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query deadline in simulated seconds",
+    )
+    p.add_argument(
+        "--no-redispatch", action="store_true",
+        help="fail attempts instead of re-dispatching lost work",
+    )
+    p.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip diffing recovered results against the reference executor",
+    )
+    common(p, default_sf="0.05", default_sites="4")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")

@@ -5,6 +5,13 @@ from repro.cluster.scheduler import (
     TaskGraph,
     WorkloadSimulator,
     simulate_makespan,
+    simulate_makespan_with_faults,
 )
 
-__all__ = ["SimTask", "TaskGraph", "WorkloadSimulator", "simulate_makespan"]
+__all__ = [
+    "SimTask",
+    "TaskGraph",
+    "WorkloadSimulator",
+    "simulate_makespan",
+    "simulate_makespan_with_faults",
+]

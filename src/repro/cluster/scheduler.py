@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.constants import CORE_UNITS_PER_SECOND
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, SiteFailureError
 
 
 @dataclass
@@ -82,6 +82,39 @@ def simulate_makespan(
     return simulator.completion_time(0)
 
 
+def simulate_makespan_with_faults(
+    graph: TaskGraph,
+    sites: int,
+    cores_per_site: int,
+    events: Sequence[Tuple[float, str, Tuple]] = (),
+    at: float = 0.0,
+    redispatch: bool = True,
+) -> Tuple[float, int]:
+    """Makespan of one query submitted at ``at`` under fault events.
+
+    ``events`` are ``(time, kind, payload)`` triples in *absolute*
+    simulated time — ``("crash", (site,))`` or ``("slow", (site, factor))``
+    — typically from :meth:`repro.faults.FaultInjector.scheduler_events`.
+    Returns ``(makespan, redispatched)`` where ``redispatched`` counts the
+    tasks restarted on surviving sites; raises
+    :class:`~repro.common.errors.SiteFailureError` when ``redispatch`` is
+    off and a crash loses work (or when every site dies).
+    """
+    simulator = WorkloadSimulator(
+        sites, cores_per_site, redispatch_on_failure=redispatch
+    )
+    for time, kind, payload in events:
+        if kind == "crash":
+            simulator.schedule_crash(payload[0], time)
+        elif kind == "slow":
+            simulator.schedule_slowdown(payload[0], payload[1], time)
+        else:
+            raise ExecutionError(f"unknown fault event kind {kind!r}")
+    simulator.submit(graph, at=at, tag=0)
+    simulator.run()
+    return simulator.completion_time(0) - at, simulator.redispatched_tasks
+
+
 class WorkloadSimulator:
     """Discrete-event simulation of tasks on a multi-site cluster.
 
@@ -90,11 +123,21 @@ class WorkloadSimulator:
     experiment, Section 6.3).
     """
 
-    def __init__(self, sites: int, cores_per_site: int):
+    def __init__(
+        self,
+        sites: int,
+        cores_per_site: int,
+        redispatch_on_failure: bool = True,
+    ):
         if sites < 1 or cores_per_site < 1:
             raise ExecutionError("sites and cores_per_site must be >= 1")
         self.sites = sites
         self.cores_per_site = cores_per_site
+        #: When a site dies, migrate its lost/queued tasks to survivors
+        #: (restarting them from scratch).  With this off, a crash that
+        #: loses work raises :class:`SiteFailureError` instead — the query
+        #: fails and the resilience layer may retry it.
+        self.redispatch_on_failure = redispatch_on_failure
         self._now = 0.0
         self._ids = itertools.count()
         self._pending_deps: Dict[int, int] = {}
@@ -113,6 +156,101 @@ class WorkloadSimulator:
         self._completions: Dict[int, float] = {}
         self._submit_times: Dict[int, float] = {}
         self.on_complete: Optional[Callable[[int, float], None]] = None
+        # -- fault state ----------------------------------------------------
+        self._down = [False] * sites
+        self._speed = [1.0] * sites
+        #: (time, seq, kind, payload) discrete fault events, a heap.
+        self._fault_heap: List[Tuple[float, int, str, Tuple]] = []
+        self._running_site: Dict[int, int] = {}  # task id -> executing site
+        #: Tasks restarted on a surviving site after losing theirs.
+        self.redispatched_tasks = 0
+        #: Crash events that actually took a site down.
+        self.crashes_fired = 0
+
+    # -- fault scheduling -------------------------------------------------------
+
+    def schedule_crash(self, site: int, at: float) -> None:
+        """Site ``site`` dies at simulated time ``at`` (permanently)."""
+        self._schedule_fault(at, "crash", (site,))
+
+    def schedule_slowdown(self, site: int, factor: float, at: float) -> None:
+        """Site ``site`` retires work ``factor``x slower from ``at`` on.
+
+        Tasks already in flight keep their finish times (a documented
+        simplification); tasks dispatched after the event are stretched.
+        """
+        if factor <= 0:
+            raise ExecutionError("slowdown factor must be > 0")
+        self._schedule_fault(at, "slow", (site, factor))
+
+    def _schedule_fault(self, at: float, kind: str, payload: Tuple) -> None:
+        if not 0 <= payload[0] < self.sites:
+            raise ExecutionError(f"fault targets unknown site {payload[0]}")
+        heapq.heappush(self._fault_heap, (at, next(self._seq), kind, payload))
+
+    def _alive(self) -> List[int]:
+        return [s for s in range(self.sites) if not self._down[s]]
+
+    def _route_site(self, site: int) -> int:
+        """Where a task placed at ``site`` actually runs (failover remap)."""
+        if not self._down[site]:
+            return site
+        alive = self._alive()
+        if not alive:
+            raise SiteFailureError(
+                "all sites have failed", site=site, at=self._now
+            )
+        if not self.redispatch_on_failure:
+            raise SiteFailureError(
+                f"site {site} is down and re-dispatch is disabled",
+                site=site,
+                at=self._now,
+            )
+        return alive[site % len(alive)]
+
+    def _apply_fault(self, kind: str, payload: Tuple) -> None:
+        if kind == "slow":
+            site, factor = payload
+            self._speed[site] = 1.0 / factor
+            return
+        (site,) = payload
+        if self._down[site]:
+            return
+        self._down[site] = True
+        self.crashes_fired += 1
+        self._free_cores[site] = 0
+        lost = sorted(
+            tid for tid, s in self._running_site.items() if s == site
+        )
+        queued = sorted(self._site_queues[site])
+        self._site_queues[site] = []
+        if (lost or queued) and not self.redispatch_on_failure:
+            raise SiteFailureError(
+                f"site {site} died holding {len(lost)} running and "
+                f"{len(queued)} queued task(s)",
+                site=site,
+                at=self._now,
+            )
+        if lost:
+            lost_set = set(lost)
+            self._running = [
+                (finish, tid)
+                for finish, tid in self._running
+                if tid not in lost_set
+            ]
+            heapq.heapify(self._running)
+            for tid in lost:
+                del self._running_site[tid]
+                self.redispatched_tasks += 1
+                self._enqueue(tid, self._now)
+        for release, _, tid in queued:
+            self.redispatched_tasks += 1
+            self._enqueue(tid, max(release, self._now))
+
+    def _process_due_faults(self) -> None:
+        while self._fault_heap and self._fault_heap[0][0] <= self._now:
+            _, _, kind, payload = heapq.heappop(self._fault_heap)
+            self._apply_fault(kind, payload)
 
     # -- submission -------------------------------------------------------------
 
@@ -153,25 +291,46 @@ class WorkloadSimulator:
 
     def _enqueue(self, task_id: int, when: float) -> None:
         task = self._tasks[task_id]
+        site = self._route_site(task.site)
         release = max(when, self._release[task_id])
         heapq.heappush(
-            self._site_queues[task.site], (release, next(self._seq), task_id)
+            self._site_queues[site], (release, next(self._seq), task_id)
         )
 
     # -- simulation loop ------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until all work drains (or simulated ``until`` is passed)."""
+        """Run until all work drains (or simulated ``until`` is passed).
+
+        Fault events scheduled via ``schedule_crash``/``schedule_slowdown``
+        are interleaved with task completions in time order; on a tie the
+        fault is applied first (a task cannot finish on a site at the very
+        instant the site dies).
+        """
+        self._process_due_faults()
         self._dispatch()
-        while self._running:
+        while self._running or (self._fault_heap and self._open_tasks):
+            next_finish = self._running[0][0] if self._running else None
+            if self._fault_heap and (
+                next_finish is None or self._fault_heap[0][0] <= next_finish
+            ):
+                at, _, kind, payload = heapq.heappop(self._fault_heap)
+                if until is not None and at > until:
+                    self._now = until
+                    return self._now
+                self._now = max(self._now, at)
+                self._apply_fault(kind, payload)
+                self._process_due_faults()
+                self._dispatch()
+                continue
             finish, task_id = self._running[0]
             if until is not None and finish > until:
                 self._now = until
                 return self._now
             heapq.heappop(self._running)
             self._now = max(self._now, finish)
-            task = self._tasks[task_id]
-            self._free_cores[task.site] += 1
+            site = self._running_site.pop(task_id)
+            self._free_cores[site] += 1
             self._finish_task(task_id)
             self._dispatch()
         return self._now
@@ -194,11 +353,17 @@ class WorkloadSimulator:
             # Idle cluster: jump forward to the earliest release across
             # *all* sites.  Jumping to the first non-empty queue's head
             # (the old behaviour) could skip past earlier releases at
-            # later-numbered sites, starting those tasks late.
+            # later-numbered sites, starting those tasks late.  Never jump
+            # past a pending fault event: the fault must be applied before
+            # any task the jump would start (run() handles it next).
             heads = [q[0][0] for q in self._site_queues if q]
             if heads:
-                self._now = max(self._now, min(heads))
+                jump = min(heads)
+                if not (self._fault_heap and self._fault_heap[0][0] <= jump):
+                    self._now = max(self._now, jump)
         for site in range(self.sites):
+            if self._down[site]:
+                continue
             queue = self._site_queues[site]
             while self._free_cores[site] > 0 and queue:
                 release, _, task_id = queue[0]
@@ -207,8 +372,10 @@ class WorkloadSimulator:
                 heapq.heappop(queue)
                 self._free_cores[site] -= 1
                 task = self._tasks[task_id]
+                duration = task.duration / self._speed[site]
+                self._running_site[task_id] = site
                 heapq.heappush(
-                    self._running, (self._now + task.duration, task_id)
+                    self._running, (self._now + duration, task_id)
                 )
 
     # -- results ------------------------------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,29 @@ class SystemConfig:
     #: the mini data sizes: ~10-300x a well-planned query's latency, as the
     #: paper's 4 h cap was relative to second-to-minute query times.
     runtime_limit_seconds: float = 15.0
+
+    # ----- faults & resilience (repro.faults) -------------------------------------
+    #: The fault schedule: a tuple of frozen fault specs from
+    #: :mod:`repro.faults.injector` (SiteCrash, SiteSlowdown, ExchangeDelay,
+    #: ExchangeDrop, FragmentOom), each pinned to a simulated time.  Empty
+    #: means the happy path the paper's Section 6 tables assume.
+    faults: Tuple = ()
+    #: Re-dispatch work lost to a dead site onto the survivors (re-reading
+    #: the dead site's partitions from their backup owners).  Off, a
+    #: mid-query crash fails the query with ``FAILED_SITE`` instead.
+    failover_redispatch: bool = True
+    #: Retries per failed query (site failure / lost exchange / deadline),
+    #: with exponential backoff between attempts.  0 = fail fast.
+    max_retries: int = 0
+    #: First retry waits this long (simulated seconds) ...
+    retry_backoff_seconds: float = 0.25
+    #: ... and each further retry multiplies the wait by this factor.
+    retry_backoff_factor: float = 2.0
+    #: Per-query deadline in simulated wall-clock seconds (None = no
+    #: deadline).  Distinct from ``runtime_limit_seconds``: the runtime
+    #: limit caps a plan's *work*, the deadline caps elapsed time including
+    #: queueing, slow sites and failover re-execution.
+    query_deadline_seconds: Optional[float] = None
 
     # ----- correctness harness ---------------------------------------------------
     #: Run the differential correctness harness (repro.verify) on every

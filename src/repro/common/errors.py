@@ -90,6 +90,46 @@ class ExecutionTimeoutError(ExecutionError):
         self.elapsed = elapsed
 
 
+class QueryDeadlineError(ExecutionTimeoutError):
+    """The per-query deadline elapsed before the query completed.
+
+    Unlike the work-unit runtime limit (a property of the plan), the
+    deadline is wall-clock simulated time and can be blown by transient
+    conditions — contention, a slow site, failover re-execution — so the
+    resilience layer treats it as retryable.
+    """
+
+
+class FaultError(ExecutionError):
+    """Base class for failures caused by an injected (or modelled) fault."""
+
+
+class SiteFailureError(FaultError):
+    """A processing site died while it still held work for this query."""
+
+    def __init__(self, message: str, site: int = -1, at: float = 0.0):
+        super().__init__(message)
+        self.site = site
+        self.at = at
+
+
+class ExchangeLostError(FaultError):
+    """An exchange's row stream was dropped in flight."""
+
+    def __init__(self, message: str, exchange_id: int = -1):
+        super().__init__(message)
+        self.exchange_id = exchange_id
+
+
+class FragmentOomError(FaultError):
+    """A fragment was OOM-killed mid-execution at one site."""
+
+    def __init__(self, message: str, fragment_id: int = -1, site: int = -1):
+        super().__init__(message)
+        self.fragment_id = fragment_id
+        self.site = site
+
+
 class VerificationError(ReproError):
     """Base class for failures raised by the correctness harness."""
 

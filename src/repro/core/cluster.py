@@ -27,11 +27,13 @@ from typing import List, Optional, Sequence, Tuple
 from repro.common.config import SystemConfig
 from repro.common.errors import (
     ExecutionTimeoutError,
+    FaultError,
     PlannerDefectError,
     PlanningTimeoutError,
     ReproError,
     UnsupportedSqlError,
 )
+from repro.faults.injector import FaultInjector
 from repro.catalog.schema import TableSchema
 from repro.exec.engine import ExecutionEngine, ExecutionResult
 from repro.exec.physical import PhysNode
@@ -50,6 +52,18 @@ class QueryStatus(enum.Enum):
     PLANNER_DEFECT = "planner_defect"    # the unresolved Q20 bug
     TIMEOUT = "timeout"                  # runtime limit (Q17/Q19/Q21 on IC)
     ERROR = "error"
+    # -- resilience taxonomy (repro.faults) --------------------------------
+    #: A site failure (or lost exchange / OOM-killed fragment) killed the
+    #: attempt and failover re-dispatch could not absorb it.
+    FAILED_SITE = "failed_site"
+    #: Alias of TIMEOUT: the work-unit budget or the per-query deadline
+    #: was exhausted before the query completed.
+    TIMED_OUT = "timeout"
+    #: The query succeeded but only after >= 1 retry.
+    RETRIED = "retried"
+    #: The query succeeded in one attempt but at reduced strength: dead
+    #: sites at start and/or tasks re-dispatched after a mid-flight crash.
+    DEGRADED = "degraded"
 
 
 @dataclass
@@ -59,10 +73,18 @@ class QueryOutcome:
     status: QueryStatus
     result: Optional[ExecutionResult] = None
     error: Optional[ReproError] = None
+    #: Execution attempts consumed (1 on the happy path; > 1 after
+    #: retries by the resilience layer in :mod:`repro.faults.chaos`).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.status is QueryStatus.OK
+
+    @property
+    def succeeded(self) -> bool:
+        """The query produced rows, possibly degraded or after retries."""
+        return self.result is not None
 
     @property
     def simulated_seconds(self) -> float:
@@ -89,6 +111,10 @@ class IgniteCalciteCluster:
         self._engine = ExecutionEngine(self.store, config)
         #: View name -> defining SELECT AST (views_supported extension).
         self._views: dict = {}
+        #: The fault injector behind ``config.faults`` (None = fault-free).
+        #: Shared by every query on this cluster so one-shot faults fire
+        #: exactly once per schedule entry.
+        self.fault_injector = FaultInjector.from_config(config)
 
     # -- presets --------------------------------------------------------------
 
@@ -155,8 +181,10 @@ class IgniteCalciteCluster:
 
     # -- execution ----------------------------------------------------------------------
 
-    def execute_plan(self, plan: PhysNode) -> ExecutionResult:
-        return self._engine.execute(plan)
+    def execute_plan(self, plan: PhysNode, at: float = 0.0) -> ExecutionResult:
+        """Execute ``plan``; ``at`` is its submission time on the chaos
+        clock (only meaningful when the config carries a fault schedule)."""
+        return self._engine.execute(plan, injector=self.fault_injector, at=at)
 
     def sql(self, sql: str) -> ExecutionResult:
         """Plan and execute; raises on any failure.
@@ -175,17 +203,23 @@ class IgniteCalciteCluster:
                 sql, self.store, self.config, views=self._views
             )
             report.raise_on_failure()
-            if report.result is not None:
+            if report.result is not None and self.fault_injector is None:
+                # Under a fault schedule the harness's result is the
+                # *fault-free* execution; fall through so the caller gets
+                # the degraded run (already proven row-correct above).
                 return report.result
             # Skipped (e.g. planning budget): fall through so the caller
             # sees the same exception an unverified run would raise.
         return self.execute_plan(self.plan_sql(sql))
 
-    def try_sql(self, sql: str) -> QueryOutcome:
+    def try_sql(self, sql: str, at: float = 0.0) -> QueryOutcome:
         """Plan and execute, classifying the paper's failure modes.
 
         With ``views_supported`` enabled, a CREATE VIEW statement registers
-        the view and succeeds with an empty result set.
+        the view and succeeds with an empty result set.  Under a fault
+        schedule, ``at`` places the attempt on the chaos clock; failures
+        caused by injected faults classify as ``FAILED_SITE`` and a
+        degraded-but-correct completion as ``DEGRADED``.
         """
         try:
             statement = parse(sql, allow_views=self.config.views_supported)
@@ -207,9 +241,13 @@ class IgniteCalciteCluster:
             # crash on them either.
             return QueryOutcome(QueryStatus.ERROR, error=exc)
         try:
-            result = self.execute_plan(plan)
+            result = self.execute_plan(plan, at=at)
+        except FaultError as exc:
+            return QueryOutcome(QueryStatus.FAILED_SITE, error=exc)
         except ExecutionTimeoutError as exc:
-            return QueryOutcome(QueryStatus.TIMEOUT, error=exc)
+            return QueryOutcome(QueryStatus.TIMED_OUT, error=exc)
+        if result.degraded:
+            return QueryOutcome(QueryStatus.DEGRADED, result=result)
         return QueryOutcome(QueryStatus.OK, result=result)
 
 

@@ -29,8 +29,19 @@ from repro.common.constants import (
     VARIANT_SETUP_UNITS,
     VARIANT_SPLIT_UNITS_PER_ROW,
 )
-from repro.common.errors import ExecutionError
-from repro.cluster.scheduler import TaskGraph, simulate_makespan
+from repro.common.errors import (
+    ExchangeLostError,
+    ExecutionError,
+    FragmentOomError,
+    QueryDeadlineError,
+    SiteFailureError,
+)
+from repro.cluster.scheduler import (
+    TaskGraph,
+    simulate_makespan,
+    simulate_makespan_with_faults,
+)
+from repro.faults.injector import FaultInjector, failover_owner
 from repro.exec.fragments import Fragment, PhysReceiver, fragment_plan
 from repro.exec.operators import ExecContext, execute_node, network_units_for
 from repro.exec.physical import PhysNode
@@ -74,6 +85,12 @@ class ExecutionResult:
     fragment_trees: List[Fragment] = field(default_factory=list)
     #: id(operator) -> (actual output rows across sites, work units).
     operator_actuals: Dict[int, Tuple[int, float]] = field(default_factory=dict)
+    #: The query completed but not at full strength: it started with dead
+    #: sites (inputs re-partitioned onto survivors) and/or lost tasks to a
+    #: mid-flight crash that were re-dispatched.
+    degraded: bool = False
+    #: Tasks restarted on surviving sites after losing theirs.
+    redispatched_tasks: int = 0
 
     @property
     def row_count(self) -> int:
@@ -119,7 +136,21 @@ class ExecutionEngine:
 
     # -- public API ------------------------------------------------------------
 
-    def execute(self, plan: PhysNode) -> ExecutionResult:
+    def execute(
+        self,
+        plan: PhysNode,
+        *,
+        injector: Optional[FaultInjector] = None,
+        at: float = 0.0,
+    ) -> ExecutionResult:
+        """Execute ``plan``; with an ``injector``, under its fault schedule.
+
+        ``at`` is the query's submission time on the chaos clock: sites
+        already dead then are excluded up front (their partitions fail over
+        to survivors), crash/slowdown events later than ``at`` are replayed
+        against the task-graph simulation, and one-shot faults (exchange
+        drops, fragment OOM kills) due at ``at`` fire during this attempt.
+        """
         fragments = fragment_plan(plan)
         if self.config.verify_execution:
             # Imported lazily: repro.verify imports this module.
@@ -135,24 +166,67 @@ class ExecutionEngine:
             * CORE_UNITS_PER_SECOND
             * RUNTIME_LIMIT_PARALLELISM
         )
-        ctx = ExecContext(self.store, limit_units)
+        alive: Optional[List[int]] = None
+        coordinator = COORDINATOR
+        if injector is not None:
+            alive = injector.alive_sites(self.config.sites, at)
+            if not alive:
+                raise SiteFailureError(
+                    "no surviving sites to execute on", at=at
+                )
+            coordinator = COORDINATOR if COORDINATOR in alive else alive[0]
+        ctx = ExecContext(self.store, limit_units, alive_sites=alive)
         result_rows: Optional[List[Tuple]] = None
         fragment_sites: Dict[int, List[int]] = {}
 
         for fragment in fragments:
-            sites = self._fragment_sites(fragment)
+            if injector is not None and injector.take_fragment_oom(
+                fragment.fragment_id, at
+            ):
+                raise FragmentOomError(
+                    f"fragment #{fragment.fragment_id} was OOM-killed",
+                    fragment_id=fragment.fragment_id,
+                )
+            sites = self._fragment_sites(fragment, alive, coordinator)
             fragment_sites[fragment.fragment_id] = sites
             for site in sites:
                 rows = execute_node(fragment.root, site, ctx)
                 if fragment.is_root:
                     result_rows = rows
                 else:
-                    self._route(fragment, site, rows, ctx)
+                    self._route(
+                        fragment, site, rows, ctx, coordinator, injector, at
+                    )
 
         assert result_rows is not None
-        graph, stats = self._build_task_graph(fragments, fragment_sites, ctx)
-        makespan = simulate_makespan(
-            graph, self.config.sites, self.config.cores_per_site
+        graph, stats = self._build_task_graph(
+            fragments, fragment_sites, ctx, injector, at
+        )
+        redispatched = 0
+        events = injector.scheduler_events() if injector is not None else ()
+        if events:
+            makespan, redispatched = simulate_makespan_with_faults(
+                graph,
+                self.config.sites,
+                self.config.cores_per_site,
+                events,
+                at=at,
+                redispatch=self.config.failover_redispatch,
+            )
+        else:
+            makespan = simulate_makespan(
+                graph, self.config.sites, self.config.cores_per_site
+            )
+        deadline = self.config.query_deadline_seconds
+        if deadline is not None and makespan > deadline:
+            raise QueryDeadlineError(
+                f"query ran {makespan:.3f}s simulated, past its "
+                f"{deadline:.3f}s deadline",
+                limit=deadline,
+                elapsed=makespan,
+            )
+        degraded = redispatched > 0 or (
+            alive is not None and len(alive) < self.config.sites
         )
         actuals: Dict[int, Tuple[int, float]] = {}
         for fragment in fragments:
@@ -166,7 +240,7 @@ class ExecutionEngine:
                     for site in fragment_sites[fragment.fragment_id]
                 )
                 actuals[id(op)] = (rows, units)
-        return ExecutionResult(
+        result = ExecutionResult(
             rows=result_rows,
             fields=list(plan.fields),
             task_graph=graph,
@@ -177,52 +251,97 @@ class ExecutionEngine:
             fragments=stats,
             fragment_trees=list(fragments),
             operator_actuals=actuals,
+            degraded=degraded,
+            redispatched_tasks=redispatched,
         )
+        if self.config.verify_execution:
+            from repro.verify.invariants import check_execution_result
+
+            check_execution_result(result)
+        return result
 
     # -- fragment placement ---------------------------------------------------------
 
-    def _fragment_sites(self, fragment: Fragment) -> List[int]:
-        """The processing sites a fragment is sent to (Section 3.2.3)."""
+    def _fragment_sites(
+        self,
+        fragment: Fragment,
+        alive: Optional[List[int]] = None,
+        coordinator: int = COORDINATOR,
+    ) -> List[int]:
+        """The processing sites a fragment is sent to (Section 3.2.3).
+
+        With dead sites, distributed fragments run on the survivors only
+        and the coordinator role falls to the lowest surviving site.
+        """
         dist = fragment.root.distribution
         if satisfies(dist, Distribution.single()):
-            return [COORDINATOR]
+            return [coordinator]
+        if alive is not None:
+            return list(alive)
         return list(range(self.config.sites))
 
     # -- routing ------------------------------------------------------------------------
 
     def _route(
-        self, fragment: Fragment, site: int, rows: List[Tuple], ctx: ExecContext
+        self,
+        fragment: Fragment,
+        site: int,
+        rows: List[Tuple],
+        ctx: ExecContext,
+        coordinator: int = COORDINATOR,
+        injector: Optional[FaultInjector] = None,
+        at: float = 0.0,
     ) -> None:
         sender = fragment.sender
         assert sender is not None
+        if injector is not None and injector.take_exchange_drop(
+            sender.exchange_id, at
+        ):
+            raise ExchangeLostError(
+                f"exchange #{sender.exchange_id} dropped its stream "
+                f"from site {site}",
+                exchange_id=sender.exchange_id,
+            )
         target = sender.target
         width = fragment.root.width
         root = fragment.root
+        destinations = (
+            list(ctx.alive_sites)
+            if ctx.alive_sites is not None
+            else list(range(self.config.sites))
+        )
         if target.is_single:
-            ctx.deliver(sender.exchange_id, COORDINATOR, rows)
+            ctx.deliver(sender.exchange_id, coordinator, rows)
             copies = 1
         elif target.is_broadcast:
-            for destination in range(self.config.sites):
+            for destination in destinations:
                 ctx.deliver(sender.exchange_id, destination, rows)
-            copies = self.config.sites
+            copies = len(destinations)
         elif target.is_hash:
-            buckets: List[List[Tuple]] = [
-                [] for _ in range(self.config.sites)
-            ]
+            buckets: Dict[int, List[Tuple]] = {
+                destination: [] for destination in destinations
+            }
             keys = target.keys
             partitions = self.store.partitions_per_table
             sites = self.config.sites
+            alive = ctx.alive_sites
+            if alive is not None and len(alive) < sites:
+                def owner(partition: int) -> int:
+                    return failover_owner(partition, sites, alive)
+            else:
+                def owner(partition: int) -> int:
+                    return partition % sites
             if len(keys) == 1:
                 key = keys[0]
                 for row in rows:
                     partition = affinity_partition(row[key], partitions)
-                    buckets[partition % sites].append(row)
+                    buckets[owner(partition)].append(row)
             else:
                 for row in rows:
                     value = tuple(row[k] for k in keys)
                     partition = affinity_partition(value, partitions)
-                    buckets[partition % sites].append(row)
-            for destination, bucket in enumerate(buckets):
+                    buckets[owner(partition)].append(row)
+            for destination, bucket in buckets.items():
                 ctx.deliver(sender.exchange_id, destination, bucket)
             copies = 1
         else:
@@ -241,6 +360,8 @@ class ExecutionEngine:
         fragments: Sequence[Fragment],
         fragment_sites: Dict[int, List[int]],
         ctx: ExecContext,
+        injector: Optional[FaultInjector] = None,
+        at: float = 0.0,
     ) -> Tuple[TaskGraph, List[FragmentStats]]:
         graph = TaskGraph()
         fragment_tasks: Dict[int, List[int]] = {}
@@ -255,6 +376,17 @@ class ExecutionEngine:
             variant_plan = (
                 plan_variants(fragment) if variants_requested > 1 else None
             )
+            # An injected exchange delay stretches every task of the
+            # producing fragment: the shipment occupies its pipeline for
+            # the extra time.
+            delay_units = 0.0
+            if injector is not None and fragment.sender is not None:
+                delay_units = (
+                    injector.exchange_delay_seconds(
+                        fragment.sender.exchange_id, at
+                    )
+                    * CORE_UNITS_PER_SECOND
+                )
             task_ids: List[int] = []
             fragment_units = 0.0
             rows_out = 0
@@ -270,7 +402,11 @@ class ExecutionEngine:
                     # Too little work at this site to amortise the variant
                     # setup and re-read overheads: keep it single-threaded.
                     task_ids.append(
-                        graph.add(site, site_units + FRAGMENT_SETUP_UNITS, deps)
+                        graph.add(
+                            site,
+                            site_units + FRAGMENT_SETUP_UNITS + delay_units,
+                            deps,
+                        )
                     )
                     continue
                 source_rows = self._source_rows(
@@ -281,7 +417,7 @@ class ExecutionEngine:
                     + source_rows * VARIANT_SPLIT_UNITS_PER_ROW
                 )
                 for _ in range(variants_requested):
-                    duration = overhead + FRAGMENT_SETUP_UNITS
+                    duration = overhead + FRAGMENT_SETUP_UNITS + delay_units
                     for op in fragment.operators():
                         factor = variant_plan.factor(op, variants_requested)
                         duration += op_units[id(op)] * factor

@@ -54,7 +54,12 @@ Rows = List[Row]
 class ExecContext:
     """Shared state for one query execution: data, buffers, accounting."""
 
-    def __init__(self, store: DataStore, limit_units: float):
+    def __init__(
+        self,
+        store: DataStore,
+        limit_units: float,
+        alive_sites: Optional[Sequence[int]] = None,
+    ):
         self.store = store
         self.limit_units = limit_units
         self.total_units = 0.0
@@ -68,6 +73,28 @@ class ExecContext:
         self.network_units = 0.0
         #: rows shipped over the network (reporting).
         self.rows_shipped = 0
+        #: Surviving sites (None = every site is up).  When a site is dead,
+        #: its partitions fail over to survivors via ``failover_owner`` so
+        #: scans and hash routing agree on placement.
+        self.alive_sites: Optional[Tuple[int, ...]] = (
+            tuple(alive_sites) if alive_sites is not None else None
+        )
+
+    def partitions_for(self, data, site: int) -> List[int]:
+        """Partitions ``site`` reads for ``data``, including failed-over
+        partitions of dead sites (the re-partitioned inputs)."""
+        if self.alive_sites is None or data.schema.replicated:
+            return data.partitions_at_site(site)
+        alive = self.alive_sites
+        if len(alive) == data.site_count:
+            return data.partitions_at_site(site)
+        from repro.faults.injector import failover_owner
+
+        return [
+            p
+            for p in range(data.partition_count)
+            if failover_owner(p, data.site_count, alive) == site
+        ]
 
     def charge(
         self, node: PhysNode, site: int, units: float, rows: Optional[int] = None
@@ -118,7 +145,7 @@ def execute_node(node: PhysNode, site: int, ctx: ExecContext) -> Rows:
 def _exec_table_scan(node: PhysTableScan, site: int, ctx: ExecContext) -> Rows:
     data = ctx.store.table(node.table)
     rows: Rows = []
-    for partition in data.partitions_at_site(site):
+    for partition in ctx.partitions_for(data, site):
         rows.extend(data.partitions[partition])
     ctx.charge(node, site, len(rows) * RPTC)
     return rows
@@ -137,12 +164,12 @@ def _exec_index_scan(node: PhysIndexScan, site: int, ctx: ExecContext) -> Rows:
             indexes[partition].range_scan(
                 node.low, node.high, node.low_inclusive, node.high_inclusive
             )
-            for partition in data.partitions_at_site(site)
+            for partition in ctx.partitions_for(data, site)
         ]
     else:
         streams = [
             indexes[partition].scan()
-            for partition in data.partitions_at_site(site)
+            for partition in ctx.partitions_for(data, site)
         ]
     if len(streams) == 1:
         rows = list(streams[0])

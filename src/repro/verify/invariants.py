@@ -386,6 +386,56 @@ class PlanValidator:
             f"{', ...' if len(node.fields) > 4 else ''}]"
 
 
+def validate_execution_result(result) -> List[Violation]:
+    """Post-execution invariants over an ``ExecutionResult``.
+
+    Guards the ``ExecutionResult.row_count`` vs ``FragmentStats.rows_out``
+    drift: the root fragment executes exactly once (at the coordinator)
+    and serves the result, so its recorded ``rows_out`` must equal
+    ``len(result.rows)``.  A drift means per-operator actuals and the
+    result rows came from different executions — the PR-2 class of
+    accounting bug.
+    """
+    violations: List[Violation] = []
+    root = next((f for f in result.fragment_trees if f.is_root), None)
+    if root is None:
+        return violations
+    stats = next(
+        (s for s in result.fragments if s.fragment_id == root.fragment_id),
+        None,
+    )
+    if stats is None:
+        violations.append(
+            Violation(
+                "root-fragment-has-stats",
+                f"fragment #{root.fragment_id}",
+                "no FragmentStats recorded for the root fragment",
+            )
+        )
+    elif stats.rows_out != len(result.rows):
+        violations.append(
+            Violation(
+                "root-rows-out-matches-result",
+                f"fragment #{root.fragment_id}",
+                f"root fragment rows_out={stats.rows_out} but the result "
+                f"has {len(result.rows)} row(s)",
+            )
+        )
+    return violations
+
+
+def check_execution_result(result) -> None:
+    """Raise :class:`PlanInvariantError` on any result-level violation."""
+    violations = validate_execution_result(result)
+    if violations:
+        lines = "\n".join(str(v) for v in violations)
+        raise PlanInvariantError(
+            f"{len(violations)} execution-result invariant violation(s):"
+            f"\n{lines}",
+            violations,
+        )
+
+
 def validate_query_plan(
     plan: PhysNode, fragments: Optional[Sequence[Fragment]] = None
 ) -> List[Violation]:

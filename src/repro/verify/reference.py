@@ -91,6 +91,39 @@ def push_filters(node: RelNode) -> RelNode:
                 JoinType.INNER,
                 correlate_origin=child.correlate_origin,
             )
+        if isinstance(child, LogicalJoin) and child.join_type in (
+            JoinType.SEMI,
+            JoinType.ANTI,
+            JoinType.LEFT,
+        ):
+            # These joins emit left rows unchanged (SEMI/ANTI filter them,
+            # LEFT pads them), so a conjunct over left columns commutes
+            # with the join.  Without this, a filter stranded above a
+            # decorrelated IN/EXISTS (TPC-H Q18/Q21/Q22) leaves the left
+            # side an unfiltered cross product.
+            left_width = child.left.width
+            left_parts: List = []
+            keep: List = []
+            for conjunct in split_conjunction(node.condition):
+                refs = references(conjunct)
+                if refs and max(refs) < left_width:
+                    left_parts.append(conjunct)
+                else:
+                    keep.append(conjunct)
+            if left_parts:
+                left = push_filters(
+                    LogicalFilter(child.left, make_conjunction(left_parts))
+                )
+                joined = LogicalJoin(
+                    left,
+                    child.right,
+                    child.condition,
+                    child.join_type,
+                    correlate_origin=child.correlate_origin,
+                )
+                if keep:
+                    return LogicalFilter(joined, make_conjunction(keep))
+                return joined
         if child is node.input:
             return node
         return LogicalFilter(child, node.condition)

@@ -19,7 +19,10 @@ sys.path.insert(
 )
 
 from repro.exec.engine import ExecutionEngine  # noqa: E402
-from repro.verify.invariants import PlanValidator  # noqa: E402
+from repro.verify.invariants import (  # noqa: E402
+    PlanValidator,
+    check_execution_result,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -27,9 +30,11 @@ def _validate_every_executed_plan(monkeypatch):
     original = ExecutionEngine.execute
     validator = PlanValidator()
 
-    def checked_execute(self, plan):
+    def checked_execute(self, plan, **kwargs):
         validator.check(plan)
-        return original(self, plan)
+        result = original(self, plan, **kwargs)
+        check_execution_result(result)
+        return result
 
     # Tests that need the engine's own behaviour (e.g. the
     # verify_execution flag) can reach the unwrapped method here.

@@ -61,6 +61,39 @@ class TestMakespanBounds:
         assert fast <= slow + 1e-9
 
 
+class TestMakespanMonotonicity:
+    @staticmethod
+    def _workload_makespan(seed: int, count: int, cores: int) -> float:
+        """Completion time of ``count`` seeded queries submitted at t=0."""
+        rng = random.Random(seed)
+        graphs = []
+        for _ in range(8):
+            graph = TaskGraph()
+            scans = [
+                graph.add(site, rng.uniform(1, 2 * RATE)) for site in range(3)
+            ]
+            graph.add(0, rng.uniform(1, RATE), scans)
+            graphs.append(graph)
+        sim = WorkloadSimulator(3, cores)
+        for tag in range(count):
+            sim.submit(graphs[tag % len(graphs)], at=0.0, tag=tag)
+        return sim.run()
+
+    @given(
+        seed=st.integers(0, 50),
+        count=st.integers(1, 12),
+        cores=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_non_decreasing_in_query_count(self, seed, count, cores):
+        # Injecting one more query into the same workload can only add
+        # work: the cluster never finishes *earlier* because it was given
+        # more to do.
+        shorter = self._workload_makespan(seed, count, cores)
+        longer = self._workload_makespan(seed, count + 1, cores)
+        assert longer >= shorter - 1e-9
+
+
 class TestWorkloadInvariants:
     @given(
         seed=st.integers(0, 100),

@@ -1,0 +1,98 @@
+"""Unit tests for the retry policy, deadline accounting and percentiles."""
+
+import pytest
+
+from repro.bench.harness import latency_percentiles, percentile
+from repro.common.config import SystemConfig
+from repro.common.errors import (
+    ExecutionTimeoutError,
+    QueryDeadlineError,
+    SiteFailureError,
+)
+from repro.core.cluster import QueryOutcome, QueryStatus
+from repro.faults.chaos import RetryPolicy, _failed_attempt_seconds
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(base_seconds=0.25, factor=2.0)
+        assert policy.delay(0) == pytest.approx(0.25)
+        assert policy.delay(1) == pytest.approx(0.5)
+        assert policy.delay(2) == pytest.approx(1.0)
+
+    def test_total_backoff_sums_the_series(self):
+        policy = RetryPolicy(base_seconds=0.1, factor=3.0)
+        assert policy.total_backoff(3) == pytest.approx(0.1 + 0.3 + 0.9)
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+    def test_jitter_zero_is_exact(self):
+        assert RetryPolicy(jitter=0.0).delay(4) == RetryPolicy().delay(4)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_seconds=1.0, factor=1.0, jitter=0.5, seed=9)
+        first = policy.delay(0, salt=123)
+        assert first == policy.delay(0, salt=123)  # replayable
+        assert 1.0 <= first <= 1.5
+        assert first != policy.delay(0, salt=124)  # salt de-synchronises
+
+
+class TestFailedAttemptAccounting:
+    def test_site_failure_burns_time_up_to_the_crash(self):
+        outcome = QueryOutcome(
+            QueryStatus.FAILED_SITE,
+            error=SiteFailureError("boom", site=1, at=2.0),
+        )
+        config = SystemConfig.ic_plus(4)
+        assert _failed_attempt_seconds(outcome, 0.5, config) == pytest.approx(1.5)
+        # A crash in the past costs the attempt nothing extra.
+        assert _failed_attempt_seconds(outcome, 3.0, config) == 0.0
+
+    def test_deadline_burns_the_deadline(self):
+        outcome = QueryOutcome(
+            QueryStatus.TIMED_OUT,
+            error=QueryDeadlineError("deadline", limit=1.25),
+        )
+        config = SystemConfig.ic_plus(4)
+        assert _failed_attempt_seconds(outcome, 0.0, config) == pytest.approx(1.25)
+
+    def test_budget_timeout_burns_the_runtime_limit(self):
+        outcome = QueryOutcome(
+            QueryStatus.TIMED_OUT, error=ExecutionTimeoutError("budget")
+        )
+        config = SystemConfig.ic_plus(4)
+        assert _failed_attempt_seconds(outcome, 0.0, config) == pytest.approx(
+            config.runtime_limit_seconds
+        )
+
+    def test_row_phase_faults_fail_fast(self):
+        outcome = QueryOutcome(QueryStatus.FAILED_SITE, error=None)
+        assert _failed_attempt_seconds(outcome, 0.0, SystemConfig.ic(4)) == 0.0
+
+
+class TestPercentile:
+    def test_nearest_rank_on_known_sample(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 50.0) == 30.0
+        assert percentile(values, 95.0) == 50.0
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 100.0) == 50.0
+
+    def test_returned_value_is_always_observed(self):
+        values = [3.0, 1.0, 2.0]
+        for q in (1, 33, 50, 66, 99):
+            assert percentile(values, q) in values
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_latency_percentiles_keys(self):
+        summary = latency_percentiles([1.0, 2.0, 3.0])
+        assert set(summary) == {50.0, 95.0, 99.0}

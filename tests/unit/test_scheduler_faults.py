@@ -1,0 +1,147 @@
+"""Unit tests for the scheduler's fault handling (crashes, slowdowns)."""
+
+import pytest
+
+from repro.cluster.scheduler import (
+    TaskGraph,
+    WorkloadSimulator,
+    simulate_makespan,
+    simulate_makespan_with_faults,
+)
+from repro.common.constants import CORE_UNITS_PER_SECOND as RATE
+from repro.common.errors import ExecutionError, SiteFailureError
+
+
+def serial_graph(site: int, count: int, units: float) -> TaskGraph:
+    graph = TaskGraph()
+    prev = []
+    for _ in range(count):
+        prev = [graph.add(site, units, prev)]
+    return graph
+
+
+def fanout_graph(sites: int, units: float) -> TaskGraph:
+    graph = TaskGraph()
+    scans = [graph.add(s, units) for s in range(sites)]
+    graph.add(0, units, scans)  # root at the coordinator
+    return graph
+
+
+class TestNoFaultEquivalence:
+    def test_empty_event_list_matches_plain_simulation(self):
+        graph = fanout_graph(4, 2 * RATE)
+        plain = simulate_makespan(graph, 4, 2)
+        faulted, redispatched = simulate_makespan_with_faults(graph, 4, 2)
+        assert faulted == pytest.approx(plain)
+        assert redispatched == 0
+
+    def test_far_future_fault_does_not_stretch_the_run(self):
+        graph = fanout_graph(4, RATE)
+        plain = simulate_makespan(graph, 4, 1)
+        faulted, _ = simulate_makespan_with_faults(
+            graph, 4, 1, events=[(1e6, "crash", (3,))]
+        )
+        assert faulted == pytest.approx(plain)
+
+
+class TestCrash:
+    def test_midflight_crash_redispatches_and_completes(self):
+        # Site 1 holds a serial chain; it dies halfway through.
+        graph = serial_graph(1, 4, RATE)  # 4 x 1s tasks on site 1
+        makespan, redispatched = simulate_makespan_with_faults(
+            graph, 4, 1, events=[(1.5, "crash", (1,))]
+        )
+        assert redispatched >= 1
+        # The in-flight task restarts from scratch on a survivor.
+        assert makespan >= 4.0
+        assert makespan == pytest.approx(4.5)
+
+    def test_crash_without_redispatch_raises(self):
+        graph = serial_graph(1, 4, RATE)
+        with pytest.raises(SiteFailureError):
+            simulate_makespan_with_faults(
+                graph, 4, 1, events=[(1.5, "crash", (1,))], redispatch=False
+            )
+
+    def test_crash_of_idle_site_is_harmless_without_redispatch(self):
+        graph = serial_graph(0, 2, RATE)
+        makespan, redispatched = simulate_makespan_with_faults(
+            graph, 4, 1, events=[(0.5, "crash", (3,))], redispatch=False
+        )
+        assert makespan == pytest.approx(2.0)
+        assert redispatched == 0
+
+    def test_dead_site_at_submit_routes_to_survivor(self):
+        simulator = WorkloadSimulator(4, 1)
+        simulator.schedule_crash(2, at=0.0)
+        graph = serial_graph(2, 1, RATE)
+        simulator.submit(graph, at=0.5, tag=0)
+        simulator.run()
+        assert simulator.completion_time(0) == pytest.approx(1.5)
+
+    def test_all_sites_dead_raises(self):
+        graph = serial_graph(0, 2, RATE)
+        with pytest.raises(SiteFailureError):
+            simulate_makespan_with_faults(
+                graph,
+                2,
+                1,
+                events=[(0.5, "crash", (0,)), (0.5, "crash", (1,))],
+            )
+
+    def test_fault_beats_finish_on_a_tie(self):
+        # A task finishing exactly when its site dies is lost, not done.
+        graph = serial_graph(1, 1, RATE)
+        makespan, redispatched = simulate_makespan_with_faults(
+            graph, 2, 1, events=[(1.0, "crash", (1,))]
+        )
+        assert redispatched == 1
+        assert makespan == pytest.approx(2.0)
+
+    def test_counters_track_fired_crashes(self):
+        simulator = WorkloadSimulator(4, 1)
+        simulator.schedule_crash(1, at=0.25)
+        simulator.schedule_crash(1, at=0.5)  # duplicate: already down
+        simulator.submit(serial_graph(0, 1, RATE), at=0.0, tag=0)
+        simulator.run()
+        assert simulator.crashes_fired == 1
+
+
+class TestSlowdown:
+    def test_slow_site_stretches_dispatched_tasks(self):
+        graph = serial_graph(1, 2, RATE)
+        makespan, _ = simulate_makespan_with_faults(
+            graph, 4, 1, events=[(0.0, "slow", (1, 4.0))]
+        )
+        assert makespan == pytest.approx(8.0)
+
+    def test_slowdown_applies_only_from_its_time(self):
+        graph = serial_graph(1, 2, RATE)
+        makespan, _ = simulate_makespan_with_faults(
+            graph, 4, 1, events=[(1.0, "slow", (1, 4.0))]
+        )
+        # First task at full speed (1s), second stretched to 4s.
+        assert makespan == pytest.approx(5.0)
+
+    def test_invalid_factor_rejected(self):
+        simulator = WorkloadSimulator(2, 1)
+        with pytest.raises(ExecutionError):
+            simulator.schedule_slowdown(0, 0.0, at=0.0)
+
+    def test_unknown_site_rejected(self):
+        simulator = WorkloadSimulator(2, 1)
+        with pytest.raises(ExecutionError):
+            simulator.schedule_crash(5, at=0.0)
+
+
+class TestFaultsUnderLoad:
+    def test_crash_never_loses_work(self):
+        # Tasks spread over all sites; one site dies mid-run; every tag
+        # still completes.
+        simulator = WorkloadSimulator(3, 2)
+        simulator.schedule_crash(2, at=0.8)
+        for tag in range(5):
+            simulator.submit(fanout_graph(3, RATE), at=0.2 * tag, tag=tag)
+        simulator.run()
+        for tag in range(5):
+            assert simulator.latency(tag) > 0

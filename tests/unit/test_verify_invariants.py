@@ -164,6 +164,56 @@ class TestFragmentInvariants:
         assert "child-ids-match-receivers" in found
 
 
+class TestExecutionResultInvariant:
+    """The root fragment's ``rows_out`` must equal the result row count."""
+
+    @pytest.fixture
+    def result(self):
+        from helpers import make_company_cluster
+
+        cluster = make_company_cluster(SystemConfig.ic_plus(4))
+        return cluster.sql(JOIN_SQL)
+
+    def test_clean_execution_passes(self, result):
+        from repro.verify.invariants import validate_execution_result
+
+        assert validate_execution_result(result) == []
+
+    def test_rows_out_drift_is_flagged(self, result):
+        from repro.verify.invariants import validate_execution_result
+
+        root = next(f for f in result.fragment_trees if f.is_root)
+        stats = next(
+            s for s in result.fragments if s.fragment_id == root.fragment_id
+        )
+        stats.rows_out += 1  # the PR-2 class of accounting bug
+        assert rules(validate_execution_result(result)) == {
+            "root-rows-out-matches-result"
+        }
+
+    def test_check_raises_on_drift(self, result):
+        from repro.verify.invariants import check_execution_result
+
+        root = next(f for f in result.fragment_trees if f.is_root)
+        stats = next(
+            s for s in result.fragments if s.fragment_id == root.fragment_id
+        )
+        stats.rows_out = len(result.rows) + 7
+        with pytest.raises(PlanInvariantError, match="rows_out"):
+            check_execution_result(result)
+
+    def test_missing_root_stats_is_flagged(self, result):
+        from repro.verify.invariants import validate_execution_result
+
+        root = next(f for f in result.fragment_trees if f.is_root)
+        result.fragments = [
+            s for s in result.fragments if s.fragment_id != root.fragment_id
+        ]
+        assert rules(validate_execution_result(result)) == {
+            "root-fragment-has-stats"
+        }
+
+
 def _walk(plan):
     from repro.exec.physical import walk_physical
 
