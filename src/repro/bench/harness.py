@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.scheduler import TaskGraph, WorkloadSimulator
 from repro.common.config import SystemConfig
 from repro.core.cluster import IgniteCalciteCluster, QueryOutcome, QueryStatus
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -40,6 +41,9 @@ class QueryMeasurement:
     query: str
     status: QueryStatus
     latency: Optional[float]  # mean simulated seconds, None on failure
+    #: Registry counters this measurement moved (see
+    #: :meth:`repro.obs.metrics.MetricsRegistry.delta_since`).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -101,9 +105,13 @@ class ResponseTimeHarness:
     def _measure(
         self, cluster: IgniteCalciteCluster, name: str, sql: str
     ) -> QueryMeasurement:
+        registry = get_registry()
+        before = registry.snapshot()
         warmup = cluster.try_sql(sql)  # warm-up execution (Section 6.2)
         if not warmup.ok:
-            return QueryMeasurement(name, warmup.status, None)
+            return QueryMeasurement(
+                name, warmup.status, None, registry.delta_since(before)
+            )
         latencies = [warmup.simulated_seconds]
         for _ in range(self.repeats - 1):
             outcome = cluster.try_sql(sql)
@@ -112,7 +120,10 @@ class ResponseTimeHarness:
         # were measured (paper: warm-up + three measured executions).
         measured = latencies[1:] if len(latencies) > 1 else latencies
         return QueryMeasurement(
-            name, QueryStatus.OK, sum(measured) / len(measured)
+            name,
+            QueryStatus.OK,
+            sum(measured) / len(measured),
+            registry.delta_since(before),
         )
 
 

@@ -15,15 +15,21 @@
                           [--oom-fragment 2@t=0.0] [--retries 2]
                           [--deadline 5.0] [--system IC+] [--sf 0.05]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
-                                   [--explain]
+                                   [--explain] [--analyze]
+    repro-bench trace Q3  [--system IC+M] [--bench tpch] [--sf 0.05]
+                          [--sites 4] [--out trace.json] [--chrome chrome.json]
 
 Each figure command re-runs the corresponding paper experiment on the
 simulated cluster and prints the table.  ``query`` runs ad-hoc SQL against
-a loaded TPC-H or SSB cluster.  ``chaos`` replays the workload under an
-injected fault schedule and reports availability, retries and latency
-percentiles; ``verify`` exits with a distinct code per failure class (see
-``EXIT_*`` below) so CI can tell a wrong answer from a broken invariant
-from a harness crash.
+a loaded TPC-H or SSB cluster (``--analyze`` prints EXPLAIN ANALYZE:
+estimated vs actual rows and per-operator q-error; ``EXPLAIN [ANALYZE]
+select ...`` works as SQL too).  ``trace`` executes one benchmark query
+with tracing enabled and dumps the ``repro-trace/v1`` JSON artefact
+(optionally also Chrome trace-event format for chrome://tracing).
+``chaos`` replays the workload under an injected fault schedule and
+reports availability, retries and latency percentiles; ``verify`` exits
+with a distinct code per failure class (see ``EXIT_*`` below) so CI can
+tell a wrong answer from a broken invariant from a harness crash.
 """
 
 from __future__ import annotations
@@ -183,16 +189,80 @@ def cmd_query(args) -> None:
     if args.explain:
         print(cluster.explain(args.sql))
         return
+    if args.analyze:
+        print(cluster.explain_analyze(args.sql))
+        return
     outcome = cluster.try_sql(args.sql)
     if not outcome.ok:
         print(f"{outcome.status.value}: {outcome.error}")
         sys.exit(1)
+    if outcome.result is not None and outcome.result.fields == ["PLAN"]:
+        # EXPLAIN [ANALYZE] statements: print the plan text verbatim.
+        for row in outcome.rows:
+            print(row[0])
+        return
     for row in outcome.rows:
         print(row)
     print(
         f"-- {len(outcome.rows)} rows, "
         f"{outcome.simulated_seconds * 1000:.2f} ms simulated"
     )
+
+
+def cmd_trace(args) -> None:
+    import json
+
+    from repro.obs.metrics import get_registry
+    from repro.obs.trace import validate_trace
+
+    if args.bench == "tpch":
+        raw = args.query.upper().lstrip("Q")
+        qid = int(raw) if raw.isdigit() else None
+        if qid is None or qid not in ENABLED_QUERY_IDS:
+            enabled = ", ".join(f"Q{q}" for q in ENABLED_QUERY_IDS)
+            print(f"unknown tpch query {args.query!r} (enabled: {enabled})")
+            sys.exit(EXIT_USAGE)
+        name, sql = f"Q{qid}", QUERIES[qid].sql
+        loader = load_tpch_cluster
+    else:
+        name = args.query
+        if name not in SSB_QUERIES:
+            print(
+                f"unknown ssb query {args.query!r} "
+                f"(choose from {', '.join(sorted(SSB_QUERIES))})"
+            )
+            sys.exit(EXIT_USAGE)
+        sql = SSB_QUERIES[name].sql
+        loader = load_ssb_cluster
+    config = PRESETS[args.system](args.sites[0]).with_(tracing=True)
+    cluster = loader(config, args.sf[0])
+    registry = get_registry()
+    before = registry.snapshot()
+    outcome = cluster.try_sql(sql)
+    if not outcome.ok:
+        print(f"{outcome.status.value}: {outcome.error}")
+        sys.exit(EXIT_CRASH)
+    artefact = cluster.last_trace.to_dict(
+        query=name,
+        system=config.name,
+        metrics=registry.delta_since(before),
+    )
+    problems = validate_trace(artefact)
+    if problems:
+        print("invalid trace artefact: " + "; ".join(problems))
+        sys.exit(EXIT_CRASH)
+    payload = json.dumps(artefact, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"trace written to {args.out}")
+    else:
+        print(payload)
+    if args.chrome:
+        chrome = json.dumps(cluster.last_trace.to_chrome(), indent=2)
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            handle.write(chrome + "\n")
+        print(f"chrome trace written to {args.chrome}")
 
 
 def cmd_verify(args) -> None:
@@ -407,8 +477,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", choices=sorted(PRESETS), default="IC+")
     p.add_argument("--bench", choices=("tpch", "ssb"), default="tpch")
     p.add_argument("--explain", action="store_true")
+    p.add_argument(
+        "--analyze", action="store_true",
+        help="EXPLAIN ANALYZE: execute and show actual vs estimated rows",
+    )
     common(p, default_sites="4")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "trace", help="trace one benchmark query and dump the JSON artefact"
+    )
+    p.add_argument("query", help="query id, e.g. Q3 (tpch) or Q1.1 (ssb)")
+    p.add_argument("--system", choices=sorted(PRESETS), default="IC+M")
+    p.add_argument("--bench", choices=("tpch", "ssb"), default="tpch")
+    p.add_argument(
+        "--out", default=None, help="write the trace JSON here (default: stdout)"
+    )
+    p.add_argument(
+        "--chrome", default=None,
+        help="also write a Chrome trace-event file (chrome://tracing)",
+    )
+    common(p, default_sf="0.05", default_sites="4")
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

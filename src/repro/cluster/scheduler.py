@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.constants import CORE_UNITS_PER_SECOND
 from repro.common.errors import ExecutionError, SiteFailureError
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -218,6 +219,7 @@ class WorkloadSimulator:
             return
         self._down[site] = True
         self.crashes_fired += 1
+        get_registry().inc("scheduler.crashes_fired", site=site)
         self._free_cores[site] = 0
         lost = sorted(
             tid for tid, s in self._running_site.items() if s == site
@@ -246,6 +248,10 @@ class WorkloadSimulator:
         for release, _, tid in queued:
             self.redispatched_tasks += 1
             self._enqueue(tid, max(release, self._now))
+        if lost or queued:
+            get_registry().inc(
+                "scheduler.redispatched_tasks", len(lost) + len(queued)
+            )
 
     def _process_due_faults(self) -> None:
         while self._fault_heap and self._fault_heap[0][0] <= self._now:

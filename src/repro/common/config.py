@@ -113,6 +113,13 @@ class SystemConfig:
     #: queueing, slow sites and failover re-execution.
     query_deadline_seconds: Optional[float] = None
 
+    # ----- observability (repro.obs) ----------------------------------------------
+    #: Record a hierarchical trace (parse -> hep -> volcano -> execute
+    #: spans on the simulated clock) for every query; retrievable from
+    #: ``IgniteCalciteCluster.last_trace`` and dumped by ``repro-bench
+    #: trace``.  Off by default: the inert tracer records no spans.
+    tracing: bool = False
+
     # ----- correctness harness ---------------------------------------------------
     #: Run the differential correctness harness (repro.verify) on every
     #: query: physical plans are checked against structural invariants

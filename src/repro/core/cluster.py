@@ -37,6 +37,7 @@ from repro.faults.injector import FaultInjector
 from repro.catalog.schema import TableSchema
 from repro.exec.engine import ExecutionEngine, ExecutionResult
 from repro.exec.physical import PhysNode
+from repro.obs.trace import NULL_TRACER, Tracer, activate, get_tracer
 from repro.planner.volcano import QueryPlanner
 from repro.rel.logical import RelNode
 from repro.rel.sql2rel import SqlToRelConverter
@@ -115,6 +116,9 @@ class IgniteCalciteCluster:
         #: Shared by every query on this cluster so one-shot faults fire
         #: exactly once per schedule entry.
         self.fault_injector = FaultInjector.from_config(config)
+        #: Trace of the most recent ``sql``/``try_sql`` call.  The inert
+        #: :data:`~repro.obs.trace.NULL_TRACER` unless ``config.tracing``.
+        self.last_trace: Tracer = NULL_TRACER
 
     # -- presets --------------------------------------------------------------
 
@@ -179,6 +183,54 @@ class IgniteCalciteCluster:
         """The optimised physical plan, rendered for humans."""
         return self.plan_sql(sql).explain()
 
+    def explain_analyze(self, sql: str) -> str:
+        """Execute ``sql`` and render the plan annotated with actual row
+        counts, work units and per-operator q-error (estimated vs actual,
+        both floored at one row)."""
+        result = self.sql(f"explain analyze {sql}")
+        return "\n".join(row[0] for row in result.rows)
+
+    # -- statement plumbing ---------------------------------------------------
+
+    def _begin_trace(self) -> Tracer:
+        """Fresh tracer for one query (inert unless ``config.tracing``)."""
+        tracer = Tracer() if self.config.tracing else NULL_TRACER
+        self.last_trace = tracer
+        return tracer
+
+    def _parse(self, sql: str):
+        tracer = get_tracer()
+        with tracer.span("parse"):
+            statement = parse(sql, allow_views=self.config.views_supported)
+            tracer.advance(1.0)  # parsing is one budget tick
+        return statement
+
+    def _plan_select(self, select: ast_module.Select) -> PhysNode:
+        converter = SqlToRelConverter(
+            self.store.catalog,
+            q20_defect_fixed=self.config.q20_defect_fixed,
+            views=self._views,
+        )
+        logical = converter.convert(select)
+        planner = QueryPlanner(self.store, self.config)
+        return planner.plan(logical)
+
+    def _run_explain(
+        self, statement: ast_module.Explain, at: float = 0.0
+    ) -> ExecutionResult:
+        """EXPLAIN [ANALYZE]: a fabricated single-column text result.
+
+        Plain EXPLAIN only plans; ANALYZE also executes and reports the
+        per-operator actuals.  The returned result carries the inner
+        execution's simulated time so EXPLAIN ANALYZE costs what the
+        query itself cost.
+        """
+        plan = self._plan_select(statement.select)
+        if not statement.analyze:
+            return _text_result(self.config, plan.explain())
+        inner = self.execute_plan(plan, at=at)
+        return _text_result(self.config, inner.explain_analyze(), base=inner)
+
     # -- execution ----------------------------------------------------------------------
 
     def execute_plan(self, plan: PhysNode, at: float = 0.0) -> ExecutionResult:
@@ -195,22 +247,33 @@ class IgniteCalciteCluster:
         diffed against the reference executor.  A divergence raises
         :class:`~repro.common.errors.VerificationError`.
         """
-        if self.config.verify_execution:
-            # Imported lazily: the differential module imports the engine.
-            from repro.verify.differential import differential_check
+        tracer = self._begin_trace()
+        with activate(tracer), tracer.span(
+            "query", system=self.config.name
+        ):
+            statement = self._parse(sql)
+            if isinstance(statement, ast_module.Explain):
+                return self._run_explain(statement)
+            if isinstance(statement, ast_module.CreateView):
+                raise UnsupportedSqlError(
+                    "CREATE VIEW is DDL; use create_view() or try_sql()"
+                )
+            if self.config.verify_execution:
+                # Imported lazily: the differential module imports the engine.
+                from repro.verify.differential import differential_check
 
-            report = differential_check(
-                sql, self.store, self.config, views=self._views
-            )
-            report.raise_on_failure()
-            if report.result is not None and self.fault_injector is None:
-                # Under a fault schedule the harness's result is the
-                # *fault-free* execution; fall through so the caller gets
-                # the degraded run (already proven row-correct above).
-                return report.result
-            # Skipped (e.g. planning budget): fall through so the caller
-            # sees the same exception an unverified run would raise.
-        return self.execute_plan(self.plan_sql(sql))
+                report = differential_check(
+                    sql, self.store, self.config, views=self._views
+                )
+                report.raise_on_failure()
+                if report.result is not None and self.fault_injector is None:
+                    # Under a fault schedule the harness's result is the
+                    # *fault-free* execution; fall through so the caller gets
+                    # the degraded run (already proven row-correct above).
+                    return report.result
+                # Skipped (e.g. planning budget): fall through so the caller
+                # sees the same exception an unverified run would raise.
+            return self.execute_plan(self._plan_select(statement))
 
     def try_sql(self, sql: str, at: float = 0.0) -> QueryOutcome:
         """Plan and execute, classifying the paper's failure modes.
@@ -221,34 +284,48 @@ class IgniteCalciteCluster:
         caused by injected faults classify as ``FAILED_SITE`` and a
         degraded-but-correct completion as ``DEGRADED``.
         """
-        try:
-            statement = parse(sql, allow_views=self.config.views_supported)
-            if isinstance(statement, ast_module.CreateView):
-                self._views[statement.name] = statement.select
-                return QueryOutcome(
-                    QueryStatus.OK, result=_empty_result(self.config)
-                )
-            plan = self.plan_sql(sql)
-        except UnsupportedSqlError as exc:
-            return QueryOutcome(QueryStatus.UNSUPPORTED, error=exc)
-        except PlannerDefectError as exc:
-            return QueryOutcome(QueryStatus.PLANNER_DEFECT, error=exc)
-        except PlanningTimeoutError as exc:
-            return QueryOutcome(QueryStatus.PLANNING_FAILED, error=exc)
-        except ReproError as exc:
-            # User errors (unknown tables/columns, syntax) — not one of the
-            # paper's systemic failure modes, but the harness should not
-            # crash on them either.
-            return QueryOutcome(QueryStatus.ERROR, error=exc)
-        try:
-            result = self.execute_plan(plan, at=at)
-        except FaultError as exc:
-            return QueryOutcome(QueryStatus.FAILED_SITE, error=exc)
-        except ExecutionTimeoutError as exc:
-            return QueryOutcome(QueryStatus.TIMED_OUT, error=exc)
-        if result.degraded:
-            return QueryOutcome(QueryStatus.DEGRADED, result=result)
-        return QueryOutcome(QueryStatus.OK, result=result)
+        tracer = self._begin_trace()
+        with activate(tracer), tracer.span(
+            "query", system=self.config.name
+        ):
+            try:
+                statement = self._parse(sql)
+                if isinstance(statement, ast_module.CreateView):
+                    self._views[statement.name] = statement.select
+                    return QueryOutcome(
+                        QueryStatus.OK, result=_empty_result(self.config)
+                    )
+                if isinstance(statement, ast_module.Explain):
+                    return QueryOutcome(
+                        QueryStatus.OK,
+                        result=self._run_explain(statement, at=at),
+                    )
+                plan = self._plan_select(statement)
+            except FaultError as exc:
+                # EXPLAIN ANALYZE executes, so injected faults surface here.
+                return QueryOutcome(QueryStatus.FAILED_SITE, error=exc)
+            except ExecutionTimeoutError as exc:
+                return QueryOutcome(QueryStatus.TIMED_OUT, error=exc)
+            except UnsupportedSqlError as exc:
+                return QueryOutcome(QueryStatus.UNSUPPORTED, error=exc)
+            except PlannerDefectError as exc:
+                return QueryOutcome(QueryStatus.PLANNER_DEFECT, error=exc)
+            except PlanningTimeoutError as exc:
+                return QueryOutcome(QueryStatus.PLANNING_FAILED, error=exc)
+            except ReproError as exc:
+                # User errors (unknown tables/columns, syntax) — not one of the
+                # paper's systemic failure modes, but the harness should not
+                # crash on them either.
+                return QueryOutcome(QueryStatus.ERROR, error=exc)
+            try:
+                result = self.execute_plan(plan, at=at)
+            except FaultError as exc:
+                return QueryOutcome(QueryStatus.FAILED_SITE, error=exc)
+            except ExecutionTimeoutError as exc:
+                return QueryOutcome(QueryStatus.TIMED_OUT, error=exc)
+            if result.degraded:
+                return QueryOutcome(QueryStatus.DEGRADED, result=result)
+            return QueryOutcome(QueryStatus.OK, result=result)
 
 
 def _empty_result(config: SystemConfig) -> ExecutionResult:
@@ -263,3 +340,24 @@ def _empty_result(config: SystemConfig) -> ExecutionResult:
         network_units=0.0,
         rows_shipped=0,
     )
+
+
+def _text_result(
+    config: SystemConfig, text: str, base: Optional[ExecutionResult] = None
+) -> ExecutionResult:
+    """A one-column ``PLAN`` result carrying rendered explain text.
+
+    When ``base`` is the inner EXPLAIN ANALYZE execution, its simulated
+    cost is propagated so harnesses account for the work actually done.
+    """
+    result = _empty_result(config)
+    result.fields = ["PLAN"]
+    result.rows = [(line,) for line in text.splitlines()]
+    if base is not None:
+        result.task_graph = base.task_graph
+        result.simulated_seconds = base.simulated_seconds
+        result.total_units = base.total_units
+        result.network_units = base.network_units
+        result.rows_shipped = base.rows_shipped
+        result.degraded = base.degraded
+    return result

@@ -22,8 +22,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.constants import (
+    AFS,
     CORE_UNITS_PER_SECOND,
     FRAGMENT_SETUP_UNITS,
+    NETWORK_ROWS_PER_MESSAGE,
     RPTC,
     VARIANT_MIN_UNITS,
     VARIANT_SETUP_UNITS,
@@ -42,6 +44,8 @@ from repro.cluster.scheduler import (
     simulate_makespan_with_faults,
 )
 from repro.faults.injector import FaultInjector, failover_owner
+from repro.obs.metrics import get_registry, q_error
+from repro.obs.trace import get_tracer
 from repro.exec.fragments import Fragment, PhysReceiver, fragment_plan
 from repro.exec.operators import ExecContext, execute_node, network_units_for
 from repro.exec.physical import PhysNode
@@ -67,6 +71,9 @@ class FragmentStats:
     rows_out: int
     units: float
     variants: int
+    #: Peak buffered bytes across the fragment's sites (hash tables, sort
+    #: buffers, receiver concatenation) — the memory high-water mark.
+    mem_bytes: float = 0.0
 
 
 @dataclass
@@ -85,6 +92,9 @@ class ExecutionResult:
     fragment_trees: List[Fragment] = field(default_factory=list)
     #: id(operator) -> (actual output rows across sites, work units).
     operator_actuals: Dict[int, Tuple[int, float]] = field(default_factory=dict)
+    #: id(operator) -> actual input rows across sites (sum of the
+    #: children's outputs; delivered rows for receivers).
+    operator_rows_in: Dict[int, int] = field(default_factory=dict)
     #: The query completed but not at full strength: it started with dead
     #: sites (inputs re-partitioned onto survivors) and/or lost tasks to a
     #: mid-flight crash that were re-dispatched.
@@ -100,7 +110,9 @@ class ExecutionResult:
         """The executed plan annotated with actual rows and work units.
 
         Like EXPLAIN ANALYZE: planner estimates (``rows~``) side by side
-        with what execution actually produced, fragment by fragment.
+        with what execution actually produced, fragment by fragment, plus
+        the per-operator q-error (``max(est/actual, actual/est)``) that
+        scores the estimate.
         """
         lines: List[str] = []
         for fragment in self.fragment_trees:
@@ -120,11 +132,24 @@ class ExecutionResult:
         suffix = ""
         if actual is not None:
             rows, units = actual
-            suffix = f"  [actual rows={rows}, units={units:,.0f}]"
+            q = q_error(node.rows_est, rows)
+            suffix = (
+                f"  [actual rows={rows}, units={units:,.0f}, q-err={q:.2f}]"
+            )
         lines = ["  " * indent + node._explain_self() + suffix]
         for child in node.inputs:
             lines.extend(self._annotate(child, indent + 1))
         return lines
+
+    def max_q_error(self) -> float:
+        """The worst per-operator q-error of the executed plan."""
+        worst = 1.0
+        for fragment in self.fragment_trees:
+            for op in fragment.operators():
+                actual = self.operator_actuals.get(id(op))
+                if actual is not None:
+                    worst = max(worst, q_error(op.rows_est, actual[0]))
+        return worst
 
 
 class ExecutionEngine:
@@ -151,7 +176,11 @@ class ExecutionEngine:
         against the task-graph simulation, and one-shot faults (exchange
         drops, fragment OOM kills) due at ``at`` fire during this attempt.
         """
-        fragments = fragment_plan(plan)
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span("fragment") as span:
+            fragments = fragment_plan(plan)
+            span.attrs["fragments"] = len(fragments)
         if self.config.verify_execution:
             # Imported lazily: repro.verify imports this module.
             from repro.verify.invariants import PlanValidator
@@ -179,24 +208,34 @@ class ExecutionEngine:
         result_rows: Optional[List[Tuple]] = None
         fragment_sites: Dict[int, List[int]] = {}
 
-        for fragment in fragments:
-            if injector is not None and injector.take_fragment_oom(
-                fragment.fragment_id, at
-            ):
-                raise FragmentOomError(
-                    f"fragment #{fragment.fragment_id} was OOM-killed",
-                    fragment_id=fragment.fragment_id,
-                )
-            sites = self._fragment_sites(fragment, alive, coordinator)
-            fragment_sites[fragment.fragment_id] = sites
-            for site in sites:
-                rows = execute_node(fragment.root, site, ctx)
-                if fragment.is_root:
-                    result_rows = rows
-                else:
-                    self._route(
-                        fragment, site, rows, ctx, coordinator, injector, at
+        with tracer.span("execute"):
+            for fragment in fragments:
+                if injector is not None and injector.take_fragment_oom(
+                    fragment.fragment_id, at
+                ):
+                    raise FragmentOomError(
+                        f"fragment #{fragment.fragment_id} was OOM-killed",
+                        fragment_id=fragment.fragment_id,
                     )
+                sites = self._fragment_sites(fragment, alive, coordinator)
+                fragment_sites[fragment.fragment_id] = sites
+                ctx.current_fragment = fragment.fragment_id
+                units_before = ctx.total_units
+                with tracer.span(
+                    f"fragment#{fragment.fragment_id}", sites=len(sites)
+                ) as span:
+                    for site in sites:
+                        rows = execute_node(fragment.root, site, ctx)
+                        if fragment.is_root:
+                            result_rows = rows
+                        else:
+                            self._route(
+                                fragment, site, rows, ctx, coordinator,
+                                injector, at,
+                            )
+                    tracer.advance(ctx.total_units - units_before)
+                    span.attrs["units"] = ctx.total_units - units_before
+            ctx.current_fragment = None
 
         assert result_rows is not None
         graph, stats = self._build_task_graph(
@@ -229,17 +268,43 @@ class ExecutionEngine:
             alive is not None and len(alive) < self.config.sites
         )
         actuals: Dict[int, Tuple[int, float]] = {}
+        rows_in: Dict[int, int] = {}
         for fragment in fragments:
+            sites = fragment_sites[fragment.fragment_id]
             for op in fragment.operators():
-                rows = sum(
-                    ctx.op_rows.get((id(op), site), 0)
-                    for site in fragment_sites[fragment.fragment_id]
-                )
+                rows = sum(ctx.op_rows.get((id(op), site), 0) for site in sites)
                 units = sum(
-                    ctx.op_units.get((id(op), site), 0.0)
-                    for site in fragment_sites[fragment.fragment_id]
+                    ctx.op_units.get((id(op), site), 0.0) for site in sites
                 )
                 actuals[id(op)] = (rows, units)
+                rows_in[id(op)] = sum(
+                    ctx.op_rows_in.get((id(op), site), 0) for site in sites
+                )
+                op_name = type(op).__name__
+                registry.inc("operator.rows_out", rows, op=op_name)
+                registry.inc("operator.rows_in", rows_in[id(op)], op=op_name)
+        for stat in stats:
+            stat.mem_bytes = max(
+                (
+                    ctx.fragment_memory.get((stat.fragment_id, site), 0.0)
+                    for site in stat.sites
+                ),
+                default=0.0,
+            )
+            registry.gauge_max(
+                "fragment.mem_highwater_bytes",
+                stat.mem_bytes,
+                fragment=stat.fragment_id,
+            )
+        registry.inc("exec.queries")
+        registry.inc("exec.result_rows", len(result_rows))
+        registry.inc("exec.rows_shipped", ctx.rows_shipped)
+        registry.inc("exec.work_units", ctx.total_units)
+        registry.inc("exec.network_units", ctx.network_units)
+        if redispatched:
+            registry.inc("exec.redispatched_tasks", redispatched)
+        if degraded:
+            registry.inc("exec.degraded_queries")
         result = ExecutionResult(
             rows=result_rows,
             fields=list(plan.fields),
@@ -251,6 +316,7 @@ class ExecutionEngine:
             fragments=stats,
             fragment_trees=list(fragments),
             operator_actuals=actuals,
+            operator_rows_in=rows_in,
             degraded=degraded,
             redispatched_tasks=redispatched,
         )
@@ -352,6 +418,21 @@ class ExecutionEngine:
         ctx.charge(root, site, units)
         ctx.network_units += network_units_for(len(rows), width, copies)
         ctx.rows_shipped += len(rows) * copies
+        batches = (
+            max(1, len(rows) // NETWORK_ROWS_PER_MESSAGE) if rows else 0
+        )
+        registry = get_registry()
+        registry.inc(
+            "exchange.rows", len(rows) * copies, exchange=sender.exchange_id
+        )
+        registry.inc(
+            "exchange.bytes",
+            len(rows) * width * AFS * copies,
+            exchange=sender.exchange_id,
+        )
+        registry.inc(
+            "exchange.batches", batches * copies, exchange=sender.exchange_id
+        )
 
     # -- task graph ------------------------------------------------------------------------
 

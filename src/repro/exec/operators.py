@@ -67,6 +67,21 @@ class ExecContext:
         self.op_units: Dict[Tuple[int, int], float] = {}
         #: (node id, site) -> actual output rows (EXPLAIN ANALYZE).
         self.op_rows: Dict[Tuple[int, int], int] = {}
+        #: (node id, site) -> actual input rows, attributed by the
+        #: interpreter: an operator's input is the sum of its children's
+        #: outputs plus, for receivers, the rows delivered to it.  The
+        #: metric-conservation property tests pin rows_in == sum(rows_out
+        #: of children) per operator.
+        self.op_rows_in: Dict[Tuple[int, int], int] = {}
+        #: Interpreter call stack of node ids (per site, execution is
+        #: sequential) — how a child's output is attributed as its
+        #: caller's input.
+        self._op_stack: List[int] = []
+        #: The fragment currently being interpreted (set by the engine).
+        self.current_fragment: Optional[int] = None
+        #: (fragment id, site) -> peak buffered bytes (hash tables, sort
+        #: buffers, receiver concatenation) observed while interpreting.
+        self.fragment_memory: Dict[Tuple[int, int], float] = {}
         #: (exchange id, site) -> list of inbound row streams.
         self.inbound: Dict[Tuple[int, int], List[Rows]] = {}
         #: total network units charged (reporting).
@@ -116,6 +131,19 @@ class ExecContext:
         if self.total_units + units > self.limit_units:
             self.charge(node, site, units)  # raises
 
+    def record_input(self, node: PhysNode, site: int, rows: int) -> None:
+        key = (id(node), site)
+        self.op_rows_in[key] = self.op_rows_in.get(key, 0) + rows
+
+    def note_memory(self, site: int, byte_count: float) -> None:
+        """Report a buffer allocation; keeps the per-fragment high water."""
+        if self.current_fragment is None:
+            return
+        key = (self.current_fragment, site)
+        current = self.fragment_memory.get(key, 0.0)
+        if byte_count > current:
+            self.fragment_memory[key] = byte_count
+
     def deliver(self, exchange_id: int, site: int, stream: Rows) -> None:
         self.inbound.setdefault((exchange_id, site), []).append(stream)
 
@@ -133,9 +161,17 @@ def execute_node(node: PhysNode, site: int, ctx: ExecContext) -> Rows:
     handler = _HANDLERS.get(type(node))
     if handler is None:
         raise ExecutionError(f"no interpreter for {type(node).__name__}")
-    rows = handler(node, site, ctx)
+    caller = ctx._op_stack[-1] if ctx._op_stack else None
+    ctx._op_stack.append(id(node))
+    try:
+        rows = handler(node, site, ctx)
+    finally:
+        ctx._op_stack.pop()
     key = (id(node), site)
     ctx.op_rows[key] = ctx.op_rows.get(key, 0) + len(rows)
+    if caller is not None:
+        in_key = (caller, site)
+        ctx.op_rows_in[in_key] = ctx.op_rows_in.get(in_key, 0) + len(rows)
     return rows
 
 
@@ -200,6 +236,8 @@ def _exec_receiver(node: PhysReceiver, site: int, ctx: ExecContext) -> Rows:
             )
     else:
         rows = [row for stream in streams for row in stream]
+    ctx.record_input(node, site, sum(len(s) for s in streams))
+    ctx.note_memory(site, len(rows) * node.width * AFS)
     ctx.charge(node, site, len(rows) * RPTC)
     return rows
 
@@ -303,6 +341,7 @@ def _exec_hash_join(node: PhysHashJoin, site: int, ctx: ExecContext) -> Rows:
         def probe_key(row: Row, lks=left_keys):
             return tuple(row[k] for k in lks)
 
+    ctx.note_memory(site, len(right) * node.right.width * AFS)
     out: Rows = []
     join_type = node.join_type
     pad = (None,) * node.right.width
@@ -407,6 +446,7 @@ def sort_rows(rows: Rows, keys: Sequence[Tuple[int, bool]]) -> Rows:
 
 def _exec_sort(node: PhysSort, site: int, ctx: ExecContext) -> Rows:
     rows = execute_node(node.input, site, ctx)
+    ctx.note_memory(site, len(rows) * node.width * AFS)
     out = sort_rows(rows, node.keys)
     if node.fetch is not None:
         out = out[: node.fetch]
@@ -459,6 +499,7 @@ def _exec_hash_aggregate(
         groups[()] = evaluator.new_group()
     finalize = evaluator.partials if phase is AggPhase.MAP else evaluator.results
     out = [group_key + finalize(acc) for group_key, acc in groups.items()]
+    ctx.note_memory(site, len(out) * node.width * AFS)
     ctx.charge(node, site, len(rows) * (RPTC + HAC) + len(out) * RPTC)
     return out
 

@@ -36,6 +36,7 @@ from repro.common.errors import (
     SiteFailureError,
 )
 from repro.core.cluster import IgniteCalciteCluster, QueryOutcome, QueryStatus
+from repro.obs.metrics import get_registry
 
 #: Failure statuses worth retrying: transient (a consumed one-shot fault
 #: will not refire) or possibly transient (a deadline blown by contention
@@ -239,6 +240,7 @@ def run_chaos(
             retry = attempts - 1  # 0-based index of the upcoming retry
             if outcome.status not in RETRYABLE or retry >= policy.max_retries:
                 break
+            get_registry().inc("chaos.retries", query=name)
             clock += policy.delay(retry, salt=_salt(name))
         status = outcome.status
         if outcome.succeeded and attempts > 1:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
+from repro.obs.metrics import get_registry
 
 #: Wildcard for "any exchange" / "any fragment" in one-shot faults.
 ANY = -1
@@ -247,6 +248,7 @@ class FaultInjector:
                 and spec.exchange_id in (ANY, exchange_id)
             ):
                 self._consumed.add(index)
+                get_registry().inc("faults.exchange_drops")
                 return True
         return False
 
@@ -260,6 +262,7 @@ class FaultInjector:
                 and spec.fragment_id in (ANY, fragment_id)
             ):
                 self._consumed.add(index)
+                get_registry().inc("faults.fragment_ooms")
                 return True
         return False
 

@@ -1,0 +1,38 @@
+"""Observability: structured tracing, metrics and estimate-quality tools.
+
+The instrumentation substrate behind ``EXPLAIN ANALYZE`` and
+``repro-bench trace``: a hierarchical tracer on the simulated clock
+(:mod:`repro.obs.trace`) and a process-wide metrics registry
+(:mod:`repro.obs.metrics`).  Everything here is deterministic and
+zero-dependency; with ``SystemConfig.tracing`` off the tracer is inert.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    q_error,
+    reset_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    TRACE_SCHEMA,
+    Tracer,
+    activate,
+    get_tracer,
+    validate_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "activate",
+    "get_registry",
+    "get_tracer",
+    "q_error",
+    "reset_registry",
+    "validate_trace",
+]

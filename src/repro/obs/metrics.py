@@ -1,0 +1,178 @@
+"""The metrics registry: counters, gauges and histograms.
+
+One process-wide registry collects everything the instrumented layers
+emit — planner rule fire-counts, per-operator row flows, exchange
+bytes/batches, fragment memory high-water marks, fault and retry counts.
+All values are driven by the deterministic simulation, so two identical
+runs produce identical snapshots.
+
+Metric identity is ``name`` plus optional labels; a snapshot flattens
+each series to ``name{k=v,...}`` with labels sorted, which is what the
+benchmark harness stores per measured query and what the trace artefact
+embeds.
+
+The registry is intentionally global (like Prometheus client default
+registries): instrumented code never threads a handle around.  Tests
+isolate themselves through :func:`reset_registry`, invoked by an autouse
+fixture in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _flat(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class HistogramSummary:
+    """Summary statistics for one histogram series."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Holds every metric series emitted since the last reset."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, float] = {}
+        self._gauges: Dict[MetricKey, float] = {}
+        self._histograms: Dict[MetricKey, HistogramSummary] = {}
+
+    # -- emission ----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` to the counter series ``name{labels}``."""
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge series to ``value`` (last write wins)."""
+        self._gauges[_key(name, labels)] = value
+
+    def gauge_max(self, name: str, value: float, **labels) -> None:
+        """High-water gauge: keep the maximum value ever set."""
+        key = _key(name, labels)
+        current = self._gauges.get(key)
+        if current is None or value > current:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record ``value`` into the histogram series ``name{labels}``."""
+        key = _key(name, labels)
+        summary = self._histograms.get(key)
+        if summary is None:
+            summary = self._histograms[key] = HistogramSummary()
+        summary.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> float:
+        return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge(self, name: str, **labels) -> Optional[float]:
+        return self._gauges.get(_key(name, labels))
+
+    def histogram(self, name: str, **labels) -> HistogramSummary:
+        return self._histograms.get(_key(name, labels), HistogramSummary())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Every series flattened to ``name{k=v,...} -> value``.
+
+        Histograms expand to ``_count``/``_sum``/``_min``/``_max``
+        sub-series.  The result is JSON-serialisable and deterministic.
+        """
+        out: Dict[str, float] = {}
+        for key, value in self._counters.items():
+            out[_flat(key)] = value
+        for key, value in self._gauges.items():
+            out[_flat(key)] = value
+        for key, summary in self._histograms.items():
+            name, labels = key
+            for suffix, value in (
+                ("_count", float(summary.count)),
+                ("_sum", summary.total),
+                ("_min", summary.min),
+                ("_max", summary.max),
+            ):
+                out[_flat((name + suffix, labels))] = value
+        return dict(sorted(out.items()))
+
+    def delta_since(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Counter-style difference of the current snapshot vs ``before``.
+
+        Gauges and histogram min/max are point-in-time, so the delta keeps
+        their current value whenever the series changed at all; counters
+        and sums subtract.  Series that did not move are omitted — the
+        benchmark harness stores this as "what one query consumed".
+        """
+        now = self.snapshot()
+        delta: Dict[str, float] = {}
+        for name, value in now.items():
+            base = before.get(name, 0.0)
+            if name.endswith(("_min", "_max")) or value == base:
+                if value != base:
+                    delta[name] = value
+                continue
+            delta[name] = value - base
+        return delta
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented layer writes to."""
+    return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Clear the process-wide registry (test isolation)."""
+    _REGISTRY.reset()
+
+
+# -- estimation quality -------------------------------------------------------
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The q-error of a cardinality estimate: ``max(e/a, a/e)`` >= 1.
+
+    Both sides are floored at one row first (the standard convention, e.g.
+    Leis et al., "How Good Are Query Optimizers, Really?"), so empty
+    results and 1-row estimates compare sanely instead of dividing by
+    zero.
+    """
+    e = max(float(estimated), 1.0)
+    a = max(float(actual), 1.0)
+    return e / a if e >= a else a / e

@@ -1,0 +1,314 @@
+"""Structured query tracing over the simulated clock.
+
+The paper's analysis (Sections 4-5) hinges on knowing where a query's
+time goes — how long each planning phase ran, which fragment dominated
+execution, how many rows crossed each exchange.  This module provides the
+zero-dependency tracer behind that visibility: a tree of :class:`Span`
+objects whose timestamps come from the *simulated* clock (planner budget
+ticks during optimisation, work units during execution), so traces are
+bit-identical across runs.
+
+Usage::
+
+    tracer = Tracer()
+    with activate(tracer):
+        with tracer.span("query", sql=sql):
+            with tracer.span("parse"):
+                ...
+                tracer.advance(1.0)
+
+Instrumented modules call :func:`get_tracer` and record spans
+unconditionally; when no tracer is active the module-level
+:data:`NULL_TRACER` swallows everything at near-zero cost, which is how
+``SystemConfig.tracing`` stays disabled-by-default.
+
+Two export formats:
+
+* :meth:`Tracer.to_dict` — the ``repro-trace/v1`` artefact (schema below,
+  checked by :func:`validate_trace`);
+* :meth:`Tracer.to_chrome` — Chrome ``chrome://tracing`` / Perfetto
+  "trace event" JSON (``ph: "X"`` complete events).
+
+``repro-trace/v1`` schema::
+
+    {
+      "schema": "repro-trace/v1",
+      "query":  <str>,            # query id or raw SQL
+      "system": <str>,            # IC / IC+ / IC+M / custom
+      "clock":  "work-units",
+      "spans":  [<span>, ...],    # root spans, usually exactly one
+      "metrics": {<name>: <number>, ...}   # optional registry snapshot
+    }
+    <span> = {
+      "name":     <str>,
+      "start":    <number>,       # simulated clock at entry
+      "end":      <number>,       # simulated clock at exit, >= start
+      "attrs":    {<str>: <json scalar>, ...},
+      "children": [<span>, ...]   # each nested within [start, end]
+    }
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: The artefact schema identifier; bump on incompatible changes.
+TRACE_SCHEMA = "repro-trace/v1"
+
+
+class Span:
+    """One timed phase; children are phases it contains."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str, start: float, **attrs):
+        self.name = name
+        self.start = start
+        self.end = start
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.start:.1f}..{self.end:.1f}, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Collects a well-nested span tree on a monotonic simulated clock.
+
+    The clock only moves when instrumented code calls :meth:`advance`
+    (planner ticks, execution work units), so a span's duration is the
+    simulated work performed while it was open — deterministic across
+    runs, unlike wall-clock timings.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._clock = 0.0
+        self._stack: List[Span] = []
+        #: Completed (and open) top-level spans, in start order.
+        self.roots: List[Span] = []
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def advance(self, amount: float) -> None:
+        """Move the simulated clock forward by ``amount`` (>= 0)."""
+        if amount > 0:
+            self._clock += amount
+
+    # -- spans -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a child span of the current span (or a new root)."""
+        span = Span(name, self._clock, **attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self._clock
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (no-op outside)."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    def spans(self) -> List[Span]:
+        """Every recorded span, depth-first."""
+        out: List[Span] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(
+        self,
+        query: str = "",
+        system: str = "",
+        metrics: Optional[Dict[str, float]] = None,
+    ) -> dict:
+        """The ``repro-trace/v1`` artefact (see module docstring)."""
+        artefact = {
+            "schema": TRACE_SCHEMA,
+            "query": query,
+            "system": system,
+            "clock": "work-units",
+            "spans": [root.to_dict() for root in self.roots],
+        }
+        if metrics is not None:
+            artefact["metrics"] = dict(metrics)
+        return artefact
+
+    def to_chrome(self) -> dict:
+        """Chrome trace-event JSON: one ``"X"`` event per span.
+
+        Timestamps are the simulated clock verbatim (``displayTimeUnit``
+        marks them as milliseconds purely for a readable default zoom).
+        """
+        events = []
+
+        def emit(span: Span, depth: int) -> None:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start,
+                    "dur": span.duration,
+                    "pid": 0,
+                    "tid": depth,
+                    "args": {str(k): v for k, v in span.attrs.items()},
+                }
+            )
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class NullTracer(Tracer):
+    """The inert tracer active when ``SystemConfig.tracing`` is off.
+
+    Records nothing: no spans, no clock movement — the overhead the
+    disabled-by-default smoke test pins down.
+    """
+
+    enabled = False
+
+    def advance(self, amount: float) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        yield _DISCARD_SPAN
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+#: Shared throwaway span yielded by the null tracer's ``span``.
+_DISCARD_SPAN = Span("discarded", 0.0)
+
+#: The process-wide inert tracer; identity-comparable.
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer (:data:`NULL_TRACER` when none is)."""
+    return _active
+
+
+@contextmanager
+def activate(tracer: Tracer):
+    """Make ``tracer`` the active tracer for the dynamic extent."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous
+
+
+# -- schema validation --------------------------------------------------------
+
+
+def validate_trace(artefact: object) -> List[str]:
+    """Check ``artefact`` against the ``repro-trace/v1`` schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    artefact is valid.  Used by the CLI tests and by consumers loading
+    ``repro-bench trace`` output.
+    """
+    errors: List[str] = []
+    if not isinstance(artefact, dict):
+        return [f"artefact must be an object, got {type(artefact).__name__}"]
+    if artefact.get("schema") != TRACE_SCHEMA:
+        errors.append(
+            f"schema must be {TRACE_SCHEMA!r}, got {artefact.get('schema')!r}"
+        )
+    for key in ("query", "system", "clock"):
+        if not isinstance(artefact.get(key), str):
+            errors.append(f"{key!r} must be a string")
+    spans = artefact.get("spans")
+    if not isinstance(spans, list):
+        errors.append("'spans' must be a list")
+        spans = []
+    metrics = artefact.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        errors.append("'metrics' must be an object when present")
+
+    def check_span(span: object, path: str) -> None:
+        if not isinstance(span, dict):
+            errors.append(f"{path}: span must be an object")
+            return
+        if not isinstance(span.get("name"), str):
+            errors.append(f"{path}: 'name' must be a string")
+        start, end = span.get("start"), span.get("end")
+        for key, value in (("start", start), ("end", end)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{path}: {key!r} must be a number")
+        if (
+            isinstance(start, (int, float))
+            and isinstance(end, (int, float))
+            and end < start
+        ):
+            errors.append(f"{path}: end < start")
+        if not isinstance(span.get("attrs"), dict):
+            errors.append(f"{path}: 'attrs' must be an object")
+        children = span.get("children")
+        if not isinstance(children, list):
+            errors.append(f"{path}: 'children' must be a list")
+            return
+        for i, child in enumerate(children):
+            child_path = f"{path}.children[{i}]"
+            check_span(child, child_path)
+            if isinstance(child, dict):
+                cs, ce = child.get("start"), child.get("end")
+                if (
+                    isinstance(start, (int, float))
+                    and isinstance(end, (int, float))
+                    and isinstance(cs, (int, float))
+                    and isinstance(ce, (int, float))
+                    and not (start <= cs and ce <= end)
+                ):
+                    errors.append(f"{child_path}: not nested within parent")
+
+    for i, span in enumerate(spans):
+        check_span(span, f"spans[{i}]")
+    return errors

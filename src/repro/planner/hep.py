@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.common.errors import PlannerError
+from repro.obs.metrics import get_registry
 from repro.planner.budget import PlanningBudget
 from repro.planner.rules import Rule
 from repro.rel.logical import RelNode
@@ -46,6 +47,7 @@ class HepPlanner:
                 self.budget.charge(1)
             replacement = rule.apply(node)
             if replacement is not None and replacement.digest() != node.digest():
+                get_registry().inc("planner.rule_fired", rule=rule.name)
                 return replacement, True
         changed = False
         new_inputs = []

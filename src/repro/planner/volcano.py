@@ -39,6 +39,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.common.config import SystemConfig
 from repro.cost.model import CostModel
 from repro.exec.physical import PhysNode
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.planner.budget import PlanningBudget
 from repro.planner.hep import HepPlanner
 from repro.planner.physical import PhysicalPlanner, Requirement
@@ -84,22 +86,37 @@ class QueryPlanner:
 
     def plan(self, logical: RelNode) -> PhysNode:
         budget = PlanningBudget(self.config.planning_budget)
+        tracer = get_tracer()
         # --- Stage 1: the three HepPlanner passes (Section 3.2.1). ---
         tree = logical
-        for rules in stage_one_passes(
-            self.config.filter_correlate_rule,
-            self.config.join_condition_simplification,
-        ):
-            tree = HepPlanner(rules, budget).optimize(tree)
+        with tracer.span("hep") as span:
+            for rules in stage_one_passes(
+                self.config.filter_correlate_rule,
+                self.config.join_condition_simplification,
+            ):
+                tree = HepPlanner(rules, budget).optimize(tree)
+            tracer.advance(budget.spent)
+            span.attrs["budget_spent"] = budget.spent
         # --- Stage 2: cost-based optimisation. ---
         physical = PhysicalPlanner(
             self.store, self.config, self.estimator, self.cost_model, budget
         )
-        if self.config.two_phase_optimization:
-            tree = self._physical_phase_reorder(tree, physical, budget)
-        else:
-            self._charge_single_phase_space(tree, budget)
-        return physical.plan(tree)
+        with tracer.span("volcano-logical") as span:
+            before = budget.spent
+            if self.config.two_phase_optimization:
+                tree = self._physical_phase_reorder(tree, physical, budget)
+            else:
+                self._charge_single_phase_space(tree, budget)
+            tracer.advance(budget.spent - before)
+            span.attrs["budget_spent"] = budget.spent - before
+        with tracer.span("volcano-physical") as span:
+            before = budget.spent
+            plan = physical.plan(tree)
+            tracer.advance(budget.spent - before)
+            span.attrs["budget_spent"] = budget.spent - before
+        get_registry().inc("planner.queries_planned")
+        get_registry().observe("planner.budget_spent", budget.spent)
+        return plan
 
     # ------------------------------------------------------------------
     # Baseline: single-phase search-space accounting
@@ -183,6 +200,7 @@ class JoinOrderEnumerator:
         original = tuple(range(len(inputs)))
         if original not in orders:
             orders.insert(0, original)
+        get_registry().inc("planner.join_orders_enumerated", len(orders))
         best_tree: Optional[RelNode] = None
         best_cost = math.inf
         for order in orders:

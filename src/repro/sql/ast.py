@@ -192,6 +192,20 @@ class Select:
 
 
 @dataclass
+class Explain:
+    """``EXPLAIN [ANALYZE] select``.
+
+    Plain EXPLAIN renders the physical plan with cost estimates; EXPLAIN
+    ANALYZE additionally executes the query and annotates every operator
+    with actual row counts and the per-operator q-error (Section 5's
+    estimated-versus-actual comparison).
+    """
+
+    select: Select
+    analyze: bool = False
+
+
+@dataclass
 class CreateView:
     """``CREATE VIEW name AS select``.
 

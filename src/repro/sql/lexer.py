@@ -29,7 +29,7 @@ KEYWORDS = frozenset(
     select from where group by having order asc desc limit as and or not
     in exists between like is null case when then else end join inner left
     outer on distinct count sum avg min max extract year month substring
-    for create view true false union all date interval
+    for create view true false union all date interval explain analyze
     """.split()
 )
 

@@ -93,6 +93,14 @@ class _Parser:
     # -- statements --------------------------------------------------------------
 
     def parse_statement(self):
+        if self._current.is_keyword("explain"):
+            self._advance()
+            analyze = self._accept_keyword("analyze")
+            select = self._parse_select()
+            self._accept_symbol(";")
+            if self._current.type is not TokenType.EOF:
+                raise self._error("trailing tokens after statement")
+            return ast.Explain(select=select, analyze=analyze)
         if self._current.is_keyword("create"):
             self._advance()
             if self._current.is_keyword("view"):

@@ -19,10 +19,38 @@ sys.path.insert(
 )
 
 from repro.exec.engine import ExecutionEngine  # noqa: E402
+from repro.obs.metrics import reset_registry  # noqa: E402
 from repro.verify.invariants import (  # noqa: E402
     PlanValidator,
     check_execution_result,
 )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--snapshot-update",
+        action="store_true",
+        default=False,
+        help="rewrite the golden plan snapshots under tests/golden/",
+    )
+
+
+@pytest.fixture
+def snapshot_update(request):
+    return request.config.getoption("--snapshot-update")
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics_registry():
+    """Each test starts with an empty global metrics registry.
+
+    Without this, counters emitted by one test leak into the next test's
+    snapshots/deltas (the registry is a module-level singleton by design,
+    mirroring a process-wide metrics endpoint).
+    """
+    reset_registry()
+    yield
+    reset_registry()
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,103 @@
+"""CLI tests for the observability surface.
+
+Covers ``repro-bench query --analyze`` / inline ``EXPLAIN [ANALYZE]``
+statements, and the ``repro-bench trace`` subcommand: exit codes, the
+``repro-trace/v1`` JSON schema, and the Chrome trace-event round trip.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_USAGE, main
+from repro.obs.trace import TRACE_SCHEMA, validate_trace
+
+pytestmark = pytest.mark.obs
+
+SF = ["--sf", "0.02"]
+
+
+class TestExplainAnalyze:
+    def test_query_analyze_flag(self, capsys):
+        main(["query", "select count(*) from region", "--analyze"] + SF)
+        out = capsys.readouterr().out
+        assert "RootFragment" in out
+        assert "actual rows=" in out
+        assert "q-err=" in out
+
+    def test_explain_statement_inline(self, capsys):
+        main(["query", "explain select r_name from region"] + SF)
+        out = capsys.readouterr().out
+        assert "PhysTableScan" in out
+        assert "actual rows=" not in out  # plain EXPLAIN does not execute
+
+    def test_explain_analyze_statement_inline(self, capsys):
+        main(["query", "explain analyze select r_name from region"] + SF)
+        out = capsys.readouterr().out
+        assert "PhysTableScan" in out
+        assert "actual rows=5" in out
+
+    def test_explain_analyze_estimated_and_actual_side_by_side(self, capsys):
+        main(
+            ["query", "explain analyze select count(*) from orders"] + SF
+        )
+        out = capsys.readouterr().out
+        assert "rows~" in out  # planner estimate
+        assert "actual rows=" in out  # execution actuals
+
+
+class TestTraceSubcommand:
+    def test_trace_writes_valid_artefact(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        main(["trace", "Q6", "--out", str(out_file)] + SF)
+        assert "trace written" in capsys.readouterr().out
+        artefact = json.loads(out_file.read_text())
+        assert artefact["schema"] == TRACE_SCHEMA
+        assert artefact["query"] == "Q6"
+        assert artefact["system"] == "IC+M"
+        assert validate_trace(artefact) == []
+        (root,) = artefact["spans"]
+        assert root["name"] == "query"
+        child_names = [c["name"] for c in root["children"]]
+        assert child_names[0] == "parse"
+        assert "volcano-physical" in child_names
+        assert child_names[-1] == "execute"
+        assert artefact["metrics"]["exec.queries"] == 1
+
+    def test_trace_stdout_is_json(self, capsys):
+        main(["trace", "Q6"] + SF)
+        artefact = json.loads(capsys.readouterr().out)
+        assert validate_trace(artefact) == []
+
+    def test_trace_chrome_round_trips(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        chrome_file = tmp_path / "chrome.json"
+        main(
+            ["trace", "Q6", "--out", str(out_file), "--chrome",
+             str(chrome_file)] + SF
+        )
+        chrome = json.load(chrome_file.open())
+        assert chrome["traceEvents"]
+        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+        assert any(e["name"] == "execute" for e in chrome["traceEvents"])
+
+    def test_unknown_tpch_query_exits_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "Q99"] + SF)
+        assert excinfo.value.code == EXIT_USAGE
+        assert "unknown tpch query" in capsys.readouterr().out
+
+    def test_unknown_ssb_query_exits_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "nope", "--bench", "ssb"] + SF)
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_trace_accepts_bare_query_number(self, capsys):
+        main(["trace", "6"] + SF)
+        artefact = json.loads(capsys.readouterr().out)
+        assert artefact["query"] == "Q6"
+
+    def test_trace_system_flag(self, capsys):
+        main(["trace", "Q6", "--system", "IC+"] + SF)
+        artefact = json.loads(capsys.readouterr().out)
+        assert artefact["system"] == "IC+"

@@ -1,0 +1,115 @@
+"""Golden-plan snapshot tests.
+
+Every (query, system) cell's EXPLAIN output is pinned against a committed
+snapshot under ``tests/golden/``, so any planner change that alters a plan
+shows up as a readable diff.  EXPLAIN ANALYZE output (including actual
+row counts, which the deterministic engine reproduces bit-identically) is
+pinned for a smaller set of cells.
+
+To accept intentional plan changes, regenerate the snapshots::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_plans.py \
+        --snapshot-update
+"""
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tpch import QUERIES, load_tpch_cluster
+from repro.common.config import SystemConfig
+
+pytestmark = pytest.mark.obs
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: >= 8 queries that plan on every variant (Q2/Q5/Q9 exhaust IC's
+#: planning budget and are covered by the failure-matrix tests instead).
+QUERY_IDS = (1, 3, 4, 6, 10, 12, 13, 14)
+
+SYSTEMS = ("IC", "IC+", "IC+M")
+
+#: EXPLAIN ANALYZE cells: executed, so keep the grid small.
+ANALYZE_CELLS = (("IC+M", 3), ("IC+M", 6), ("IC+", 3))
+
+SCALE_FACTOR = 0.05
+
+
+def _config(system: str) -> SystemConfig:
+    return {
+        "IC": SystemConfig.ic,
+        "IC+": SystemConfig.ic_plus,
+        "IC+M": SystemConfig.ic_plus_m,
+    }[system](4)
+
+
+@pytest.fixture(scope="module")
+def clusters():
+    return {
+        system: load_tpch_cluster(_config(system), SCALE_FACTOR)
+        for system in SYSTEMS
+    }
+
+
+def _check_snapshot(name: str, actual: str, update: bool) -> None:
+    path = GOLDEN_DIR / name
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual, encoding="utf-8")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden snapshot {path.name}; "
+            f"run pytest with --snapshot-update to create it"
+        )
+    expected = path.read_text(encoding="utf-8")
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"golden/{path.name}",
+                tofile="actual",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"plan for {path.name} changed; if intentional, re-run with "
+            f"--snapshot-update\n{diff}"
+        )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("qid", QUERY_IDS)
+def test_explain_matches_golden(clusters, snapshot_update, system, qid):
+    text = clusters[system].explain(QUERIES[qid].sql) + "\n"
+    _check_snapshot(f"Q{qid}-{system}.explain.txt", text, snapshot_update)
+
+
+@pytest.mark.parametrize("system,qid", ANALYZE_CELLS)
+def test_explain_analyze_matches_golden(
+    clusters, snapshot_update, system, qid
+):
+    text = clusters[system].explain_analyze(QUERIES[qid].sql) + "\n"
+    _check_snapshot(f"Q{qid}-{system}.analyze.txt", text, snapshot_update)
+
+
+def test_explain_is_deterministic_across_runs(clusters):
+    sql = QUERIES[3].sql
+    assert clusters["IC+M"].explain(sql) == clusters["IC+M"].explain(sql)
+
+
+def test_explain_analyze_is_deterministic_across_runs(clusters):
+    sql = QUERIES[6].sql
+    first = clusters["IC+M"].explain_analyze(sql)
+    second = clusters["IC+M"].explain_analyze(sql)
+    assert first == second
+
+
+def test_golden_grid_is_complete():
+    """The committed snapshot set covers the whole advertised grid."""
+    expected = {f"Q{q}-{s}.explain.txt" for q in QUERY_IDS for s in SYSTEMS}
+    expected |= {f"Q{q}-{s}.analyze.txt" for s, q in ANALYZE_CELLS}
+    present = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert expected <= present, sorted(expected - present)

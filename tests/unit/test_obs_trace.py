@@ -1,0 +1,204 @@
+"""Unit tests for the simulated-clock tracer (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    get_tracer,
+    validate_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def test_clock_only_moves_on_advance():
+    tracer = Tracer()
+    assert tracer.clock == 0.0
+    tracer.advance(5.0)
+    tracer.advance(0.0)
+    tracer.advance(-3.0)  # negative amounts are ignored, clock is monotonic
+    assert tracer.clock == 5.0
+
+
+def test_span_tree_is_well_nested():
+    tracer = Tracer()
+    with tracer.span("query"):
+        tracer.advance(1.0)
+        with tracer.span("plan"):
+            tracer.advance(2.0)
+        with tracer.span("execute"):
+            tracer.advance(4.0)
+    (root,) = tracer.roots
+    assert root.name == "query"
+    assert [c.name for c in root.children] == ["plan", "execute"]
+    plan, execute = root.children
+    assert (root.start, root.end) == (0.0, 7.0)
+    assert (plan.start, plan.end) == (1.0, 3.0)
+    assert (execute.start, execute.end) == (3.0, 7.0)
+    assert root.duration == 7.0
+    assert plan.duration + execute.duration <= root.duration
+
+
+def test_span_attrs_and_annotate():
+    tracer = Tracer()
+    with tracer.span("query", system="IC+") as span:
+        tracer.annotate(fragments=3)
+    assert span.attrs == {"system": "IC+", "fragments": 3}
+    tracer.annotate(ignored=True)  # outside any span: a no-op
+    assert "ignored" not in span.attrs
+
+
+def test_span_closes_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("query"):
+            tracer.advance(2.0)
+            raise RuntimeError("boom")
+    (root,) = tracer.roots
+    assert root.end == 2.0
+    with tracer.span("again"):  # the stack recovered
+        pass
+    assert [s.name for s in tracer.roots] == ["query", "again"]
+
+
+def test_spans_walk_depth_first():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            with tracer.span("c"):
+                pass
+        with tracer.span("d"):
+            pass
+    assert [s.name for s in tracer.spans()] == ["a", "b", "c", "d"]
+
+
+def test_to_dict_matches_schema_and_round_trips_json():
+    tracer = Tracer()
+    with tracer.span("query", sql="select 1"):
+        tracer.advance(3.0)
+    artefact = tracer.to_dict(query="Q1", system="IC+M", metrics={"x": 1.0})
+    assert artefact["schema"] == TRACE_SCHEMA
+    assert artefact["clock"] == "work-units"
+    assert artefact["metrics"] == {"x": 1.0}
+    assert validate_trace(artefact) == []
+    # and survives a JSON round trip unchanged
+    assert json.loads(json.dumps(artefact)) == artefact
+
+
+def test_to_dict_omits_metrics_when_absent():
+    artefact = Tracer().to_dict(query="q", system="IC")
+    assert "metrics" not in artefact
+    assert validate_trace(artefact) == []
+
+
+def test_to_chrome_emits_complete_events():
+    tracer = Tracer()
+    with tracer.span("query"):
+        tracer.advance(1.0)
+        with tracer.span("plan", rules=2):
+            tracer.advance(4.0)
+    chrome = tracer.to_chrome()
+    events = chrome["traceEvents"]
+    assert [e["name"] for e in events] == ["query", "plan"]
+    assert all(e["ph"] == "X" for e in events)
+    assert events[0]["tid"] == 0 and events[1]["tid"] == 1
+    assert events[1]["ts"] == 1.0 and events[1]["dur"] == 4.0
+    assert events[1]["args"] == {"rules": 2}
+    json.loads(json.dumps(chrome))  # chrome://tracing loads plain JSON
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    tracer.advance(100.0)
+    with tracer.span("query") as span:
+        span.attrs["x"] = 1  # writable but discarded
+        with tracer.span("inner"):
+            pass
+    assert tracer.clock == 0.0
+    assert tracer.roots == []
+    assert tracer.spans() == []
+    assert not tracer.enabled
+    assert NULL_TRACER.enabled is False
+
+
+def test_activate_scopes_the_active_tracer():
+    assert get_tracer() is NULL_TRACER
+    tracer = Tracer()
+    with activate(tracer):
+        assert get_tracer() is tracer
+        inner = Tracer()
+        with activate(inner):
+            assert get_tracer() is inner
+        assert get_tracer() is tracer
+    assert get_tracer() is NULL_TRACER
+
+
+def test_activate_restores_on_exception():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with activate(tracer):
+            raise ValueError()
+    assert get_tracer() is NULL_TRACER
+
+
+def test_validate_trace_rejects_malformed_artefacts():
+    assert validate_trace([]) != []
+    assert validate_trace({"schema": "bogus/v9"}) != []
+    bad_span = {
+        "schema": TRACE_SCHEMA,
+        "query": "q",
+        "system": "IC",
+        "clock": "work-units",
+        "spans": [
+            {
+                "name": "query",
+                "start": 0.0,
+                "end": 5.0,
+                "attrs": {},
+                "children": [
+                    # escapes the parent interval
+                    {
+                        "name": "child",
+                        "start": 4.0,
+                        "end": 9.0,
+                        "attrs": {},
+                        "children": [],
+                    }
+                ],
+            }
+        ],
+    }
+    problems = validate_trace(bad_span)
+    assert any("not nested within parent" in p for p in problems)
+
+
+def test_validate_trace_rejects_end_before_start():
+    artefact = {
+        "schema": TRACE_SCHEMA,
+        "query": "q",
+        "system": "IC",
+        "clock": "work-units",
+        "spans": [
+            {"name": "s", "start": 3.0, "end": 1.0, "attrs": {}, "children": []}
+        ],
+    }
+    assert any("end < start" in p for p in validate_trace(artefact))
+
+
+def test_span_to_dict_shape():
+    span = Span("parse", 1.0, sql="select 1")
+    span.end = 2.0
+    assert span.to_dict() == {
+        "name": "parse",
+        "start": 1.0,
+        "end": 2.0,
+        "attrs": {"sql": "select 1"},
+        "children": [],
+    }
