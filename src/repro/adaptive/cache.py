@@ -1,0 +1,97 @@
+"""The LRU plan cache.
+
+Entries are keyed by the parameterised plan signature
+(:func:`repro.adaptive.signature.plan_signature`) and guarded by the
+literal vector the plan was built with: physical plans embed literals
+(filter conditions, index-scan bounds), so an entry is only served when
+the incoming query binds *exactly* the same constants.  A literal
+mismatch counts as a miss and the subsequent store replaces the entry —
+one slot per plan shape, holding the most recently planned binding.
+
+Metrics (process-wide registry):
+
+* ``plan_cache.hits`` / ``plan_cache.misses`` — lookup outcomes
+  (a literal mismatch is a miss);
+* ``plan_cache.evictions`` — LRU capacity evictions;
+* ``plan_cache.invalidations`` — entries dropped by DDL;
+* ``plan_cache.replans`` — feedback-driven evictions (observed q-error
+  over threshold), counted by the controller.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.exec.physical import PhysNode
+from repro.obs.metrics import get_registry
+
+DEFAULT_CAPACITY = 64
+
+
+@dataclass
+class CacheEntry:
+    """One cached physical plan and its provenance."""
+
+    key: str
+    literals: Tuple
+    plan: PhysNode
+    #: Planner-budget ticks the original planning spent (what a hit saves).
+    budget_spent: int = 0
+    #: Lookups served from this entry.
+    hits: int = 0
+    #: Worst observed q-error across executions of this plan (1.0 until
+    #: the first execution reports back).
+    observed_q_error: float = 1.0
+    #: True when the entry was planned *with* feedback overrides active —
+    #: i.e. it is already the product of a replan.
+    replanned: bool = field(default=False)
+
+
+class PlanCache:
+    """Literal-guarded LRU over plan signatures."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str, literals: Tuple) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None or entry.literals != literals:
+            get_registry().inc("plan_cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        get_registry().inc("plan_cache.hits")
+        return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """The entry for ``key`` without touching LRU order or metrics."""
+        return self._entries.get(key)
+
+    def store(self, entry: CacheEntry) -> None:
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            get_registry().inc("plan_cache.evictions")
+
+    def evict(self, key: str) -> bool:
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Drop everything (DDL invalidation); returns entries dropped."""
+        dropped = len(self._entries)
+        if dropped:
+            get_registry().inc("plan_cache.invalidations", dropped)
+        self._entries.clear()
+        return dropped

@@ -27,6 +27,12 @@ class EquiDepthHistogram:
     def __init__(self, boundaries: Sequence):
         if len(boundaries) < 2:
             raise ValueError("histogram needs at least two boundaries")
+        if boundaries[0] == boundaries[-1]:
+            # A constant column yields boundaries with a single distinct
+            # value; such a "histogram" prices every range at 0 or 1.
+            # Callers must fall back to the linear estimate instead
+            # (EquiDepthHistogram.build returns None for this case).
+            raise ValueError("histogram boundaries need two distinct values")
         self.boundaries = list(boundaries)
 
     @property
@@ -38,7 +44,9 @@ class EquiDepthHistogram:
         values: Sequence, buckets: int = DEFAULT_BUCKETS
     ) -> Optional["EquiDepthHistogram"]:
         """Build from non-null ``values``; None when there is nothing to
-        summarise (empty or single-valued columns need no histogram)."""
+        summarise — empty, single-valued or constant columns (whose
+        sorted sample has no two distinct values) need no histogram and
+        must fall back to the linear estimate."""
         data = [v for v in values if v is not None]
         if len(data) < 2:
             return None
@@ -47,6 +55,8 @@ class EquiDepthHistogram:
             data = [data[int(i * step)] for i in range(MAX_SAMPLE)]
         data.sort()
         if data[0] == data[-1]:
+            # Constant (or constant-after-sampling) column: every
+            # boundary would coincide.
             return None
         buckets = min(buckets, len(data) - 1)
         boundaries = [

@@ -14,8 +14,11 @@
                           [--slow-site 1x4@t=0.2] [--drop-exchange 3@t=0.1]
                           [--oom-fragment 2@t=0.0] [--retries 2]
                           [--deadline 5.0] [--system IC+] [--sf 0.05]
+    repro-bench adaptive  [--queries tpch] [--system IC+] [--sf 0.05]
+                          [--sites 4] [--repeats 3] [--limit 8]
+                          [--threshold 8.0]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
-                                   [--explain] [--analyze]
+                                   [--explain] [--analyze] [--no-plan-cache]
     repro-bench trace Q3  [--system IC+M] [--bench tpch] [--sf 0.05]
                           [--sites 4] [--out trace.json] [--chrome chrome.json]
 
@@ -26,7 +29,11 @@ estimated vs actual rows and per-operator q-error; ``EXPLAIN [ANALYZE]
 select ...`` works as SQL too).  ``trace`` executes one benchmark query
 with tracing enabled and dumps the ``repro-trace/v1`` JSON artefact
 (optionally also Chrome trace-event format for chrome://tracing).
-``chaos`` replays the workload under an injected fault schedule and
+``adaptive`` repeats a workload slice on a plan-cache +
+cardinality-feedback cluster and reports planning-tick savings, cache
+hits, feedback replans and q-error drift (rows are diffed across repeats
+— any divergence is an error).  ``chaos`` replays the workload under an
+injected fault schedule and
 reports availability, retries and latency percentiles; ``verify`` exits
 with a distinct code per failure class (see ``EXIT_*`` below) so CI can
 tell a wrong answer from a broken invariant from a harness crash.
@@ -183,9 +190,39 @@ def cmd_figure11(args) -> None:
     print("(QS2 and QS4 excluded, Section 6.4)")
 
 
+def cmd_adaptive(args) -> None:
+    from repro.bench.adaptive import default_workload, run_adaptive
+
+    if args.queries == "tpch":
+        loader, pool = load_tpch_cluster, TPCH_QUERIES
+    else:
+        loader = load_ssb_cluster
+        pool = {qid: SSB_QUERIES[qid].sql for qid in SSB_QUERIES}
+    config = PRESETS[args.system](args.sites[0]).with_(
+        plan_cache=True,
+        cardinality_feedback=True,
+        replan_q_error_threshold=args.threshold,
+    )
+    result = run_adaptive(
+        loader,
+        default_workload(pool, args.limit),
+        config,
+        args.sf[0],
+        repeats=args.repeats,
+    )
+    print(result.to_text())
+    if not result.rows_stable:
+        sys.exit(EXIT_MISMATCH)
+
+
 def cmd_query(args) -> None:
     loader = load_tpch_cluster if args.bench == "tpch" else load_ssb_cluster
-    cluster = loader(PRESETS[args.system](args.sites[0]), args.sf[0])
+    config = PRESETS[args.system](args.sites[0])
+    if not args.no_plan_cache:
+        # Ad-hoc sessions run with the adaptive layer on; --no-plan-cache
+        # pins the stock always-replan behaviour.
+        config = config.with_(plan_cache=True, cardinality_feedback=True)
+    cluster = loader(config, args.sf[0])
     if args.explain:
         print(cluster.explain(args.sql))
         return
@@ -472,6 +509,26 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, default_sf="0.05", default_sites="4")
     p.set_defaults(func=cmd_chaos)
 
+    p = sub.add_parser(
+        "adaptive", help="plan-cache + feedback savings on repeat runs"
+    )
+    p.add_argument("--queries", choices=("tpch", "ssb"), default="tpch")
+    p.add_argument("--system", choices=sorted(PRESETS), default="IC+")
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="executions per query (first is the cold run)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=8,
+        help="workload slice size (first N queries by id)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=8.0,
+        help="q-error above which a cached plan is evicted for replan",
+    )
+    common(p, default_sf="0.05", default_sites="4")
+    p.set_defaults(func=cmd_adaptive)
+
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")
     p.add_argument("--system", choices=sorted(PRESETS), default="IC+")
@@ -480,6 +537,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--analyze", action="store_true",
         help="EXPLAIN ANALYZE: execute and show actual vs estimated rows",
+    )
+    p.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="disable the adaptive layer (plan cache + feedback)",
     )
     common(p, default_sites="4")
     p.set_defaults(func=cmd_query)

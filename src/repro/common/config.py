@@ -120,6 +120,22 @@ class SystemConfig:
     #: trace``.  Off by default: the inert tracer records no spans.
     tracing: bool = False
 
+    # ----- adaptive re-planning (repro.adaptive) -----------------------------------
+    #: Serve repeat queries from the literal-guarded LRU plan cache: a hit
+    #: skips both planning stages (zero planner-budget ticks).  EXPLAIN,
+    #: traced queries and fault-injected runs always bypass the cache.
+    plan_cache: bool = False
+    #: Plan-cache slots (one per normalised plan signature).
+    plan_cache_capacity: int = 64
+    #: Harvest per-operator actual cardinalities after every successful
+    #: execution and let the estimator override its statistical guesses
+    #: with them on the next planning of the same operator signature.
+    cardinality_feedback: bool = False
+    #: A cached plan whose execution reports ``max_q_error()`` above this
+    #: is evicted and replanned with feedback-corrected cardinalities
+    #: (requires both ``plan_cache`` and ``cardinality_feedback``).
+    replan_q_error_threshold: float = 8.0
+
     # ----- correctness harness ---------------------------------------------------
     #: Run the differential correctness harness (repro.verify) on every
     #: query: physical plans are checked against structural invariants
@@ -142,6 +158,10 @@ class SystemConfig:
     @property
     def is_multithreaded(self) -> bool:
         return self.variant_fragments > 1
+
+    @property
+    def adaptive_enabled(self) -> bool:
+        return self.plan_cache or self.cardinality_feedback
 
     # ----- presets ---------------------------------------------------------------
 

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.adaptive.controller import AdaptiveController
 from repro.common.config import SystemConfig
 from repro.common.errors import (
     ExecutionTimeoutError,
@@ -119,6 +120,9 @@ class IgniteCalciteCluster:
         #: Trace of the most recent ``sql``/``try_sql`` call.  The inert
         #: :data:`~repro.obs.trace.NULL_TRACER` unless ``config.tracing``.
         self.last_trace: Tracer = NULL_TRACER
+        #: Plan cache + cardinality-feedback coordinator (None unless the
+        #: config enables ``plan_cache`` / ``cardinality_feedback``).
+        self.adaptive = AdaptiveController.from_config(config, self.store)
 
     # -- presets --------------------------------------------------------------
 
@@ -142,11 +146,18 @@ class IgniteCalciteCluster:
 
     def create_table(self, schema: TableSchema, rows: Sequence[Tuple]) -> None:
         self.store.create_table(schema, rows)
+        self._invalidate_plans()
 
     def create_index(
         self, table: str, index_name: str, columns: Sequence[str]
     ) -> None:
         self.store.create_index(table, index_name, columns)
+        self._invalidate_plans()
+
+    def _invalidate_plans(self) -> None:
+        """DDL changed what plans (and observed cardinalities) mean."""
+        if self.adaptive is not None:
+            self.adaptive.invalidate()
 
     # -- planning --------------------------------------------------------------------
 
@@ -172,6 +183,7 @@ class IgniteCalciteCluster:
         if not isinstance(statement, ast_module.CreateView):
             raise UnsupportedSqlError("create_view expects a CREATE VIEW")
         self._views[statement.name] = statement.select
+        self._invalidate_plans()
         return statement.name
 
     def plan_sql(self, sql: str) -> PhysNode:
@@ -205,15 +217,50 @@ class IgniteCalciteCluster:
             tracer.advance(1.0)  # parsing is one budget tick
         return statement
 
-    def _plan_select(self, select: ast_module.Select) -> PhysNode:
+    def _plan_select(
+        self, select: ast_module.Select, allow_cache: bool = True
+    ) -> PhysNode:
         converter = SqlToRelConverter(
             self.store.catalog,
             q20_defect_fixed=self.config.q20_defect_fixed,
             views=self._views,
         )
         logical = converter.convert(select)
-        planner = QueryPlanner(self.store, self.config)
-        return planner.plan(logical)
+        # Correctness guards: EXPLAIN [ANALYZE] (allow_cache=False), traced
+        # queries and fault-injected runs bypass the adaptive layer
+        # entirely — never served from the cache, never populating it, and
+        # never harvested — so golden EXPLAIN snapshots and chaos replays
+        # stay bit-identical with the flags on.
+        adaptive = self.adaptive
+        if (
+            adaptive is None
+            or not allow_cache
+            or self.config.tracing
+            or self.fault_injector is not None
+        ):
+            planner = QueryPlanner(self.store, self.config)
+            return planner.plan(logical)
+        signature, cached = adaptive.lookup(logical)
+        if cached is not None:
+            # Cache hit: Hep + Volcano skipped, zero budget ticks spent.
+            cached._adaptive_key = signature.key
+            return cached
+        planner = QueryPlanner(self.store, self.config, feedback=adaptive.feedback)
+        plan = planner.plan(logical)
+        adaptive.store(signature, plan, planner.last_budget_spent)
+        plan._adaptive_key = signature.key if signature is not None else None
+        return plan
+
+    def _observe_adaptive(self, plan: PhysNode, result: ExecutionResult) -> None:
+        """Post-execution hook: harvest actuals, maybe evict for replan.
+
+        Only plans that went through the adaptive serve path carry the
+        ``_adaptive_key`` marker; EXPLAIN / traced / fault-injected plans
+        do not and are never harvested.
+        """
+        if self.adaptive is None or not hasattr(plan, "_adaptive_key"):
+            return
+        self.adaptive.observe(plan._adaptive_key, result)
 
     def _run_explain(
         self, statement: ast_module.Explain, at: float = 0.0
@@ -225,7 +272,7 @@ class IgniteCalciteCluster:
         execution's simulated time so EXPLAIN ANALYZE costs what the
         query itself cost.
         """
-        plan = self._plan_select(statement.select)
+        plan = self._plan_select(statement.select, allow_cache=False)
         if not statement.analyze:
             return _text_result(self.config, plan.explain())
         inner = self.execute_plan(plan, at=at)
@@ -273,7 +320,10 @@ class IgniteCalciteCluster:
                     return report.result
                 # Skipped (e.g. planning budget): fall through so the caller
                 # sees the same exception an unverified run would raise.
-            return self.execute_plan(self._plan_select(statement))
+            plan = self._plan_select(statement)
+            result = self.execute_plan(plan)
+            self._observe_adaptive(plan, result)
+            return result
 
     def try_sql(self, sql: str, at: float = 0.0) -> QueryOutcome:
         """Plan and execute, classifying the paper's failure modes.
@@ -292,6 +342,7 @@ class IgniteCalciteCluster:
                 statement = self._parse(sql)
                 if isinstance(statement, ast_module.CreateView):
                     self._views[statement.name] = statement.select
+                    self._invalidate_plans()
                     return QueryOutcome(
                         QueryStatus.OK, result=_empty_result(self.config)
                     )
@@ -323,6 +374,7 @@ class IgniteCalciteCluster:
                 return QueryOutcome(QueryStatus.FAILED_SITE, error=exc)
             except ExecutionTimeoutError as exc:
                 return QueryOutcome(QueryStatus.TIMED_OUT, error=exc)
+            self._observe_adaptive(plan, result)
             if result.degraded:
                 return QueryOutcome(QueryStatus.DEGRADED, result=result)
             return QueryOutcome(QueryStatus.OK, result=result)

@@ -142,13 +142,23 @@ class ExecutionResult:
         return lines
 
     def max_q_error(self) -> float:
-        """The worst per-operator q-error of the executed plan."""
+        """The worst per-operator q-error of the executed plan.
+
+        Broadcast-distribution operators are excluded: their recorded
+        actual is summed over every site holding a copy, so a perfectly
+        estimated broadcast input would still score q-error == site
+        count.  (EXPLAIN ANALYZE keeps showing the raw numbers.)
+        """
         worst = 1.0
         for fragment in self.fragment_trees:
             for op in fragment.operators():
                 actual = self.operator_actuals.get(id(op))
-                if actual is not None:
-                    worst = max(worst, q_error(op.rows_est, actual[0]))
+                if actual is None:
+                    continue
+                distribution = getattr(op, "distribution", None)
+                if distribution is not None and distribution.is_broadcast:
+                    continue
+                worst = max(worst, q_error(op.rows_est, actual[0]))
         return worst
 
 

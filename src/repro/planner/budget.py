@@ -21,6 +21,8 @@ class PlanningBudget:
         self.spent = 0
 
     def charge(self, ticks: int = 1) -> None:
+        if ticks < 0:
+            raise ValueError(f"cannot charge negative ticks ({ticks})")
         self.spent += ticks
         if self.spent > self.limit:
             raise PlanningTimeoutError(
@@ -32,4 +34,11 @@ class PlanningBudget:
 
     @property
     def remaining(self) -> int:
+        """Ticks left, floored at zero.
+
+        The final :meth:`charge` that raises ``PlanningTimeoutError``
+        leaves ``spent > limit``; without the floor this would report a
+        negative remainder to anything that inspects the budget after the
+        failure (obs spans, error messages).
+        """
         return max(0, self.limit - self.spent)

@@ -78,11 +78,18 @@ IMPROVED_OPTIONS_PER_JOIN = 12     # + hash join, + fully distributed mappings
 class QueryPlanner:
     """Runs the full two-stage optimisation pipeline for one query."""
 
-    def __init__(self, store: DataStore, config: SystemConfig):
+    def __init__(
+        self, store: DataStore, config: SystemConfig, feedback=None
+    ):
         self.store = store
         self.config = config
-        self.estimator = Estimator(store, config.fixed_join_estimation)
+        self.estimator = Estimator(
+            store, config.fixed_join_estimation, feedback=feedback
+        )
         self.cost_model = CostModel(config)
+        #: Budget ticks the most recent :meth:`plan` call consumed; the
+        #: plan cache records this as what a future hit saves.
+        self.last_budget_spent: int = 0
 
     def plan(self, logical: RelNode) -> PhysNode:
         budget = PlanningBudget(self.config.planning_budget)
@@ -96,7 +103,7 @@ class QueryPlanner:
             ):
                 tree = HepPlanner(rules, budget).optimize(tree)
             tracer.advance(budget.spent)
-            span.attrs["budget_spent"] = budget.spent
+            span.attrs["budget_spent"] = max(0, budget.spent)
         # --- Stage 2: cost-based optimisation. ---
         physical = PhysicalPlanner(
             self.store, self.config, self.estimator, self.cost_model, budget
@@ -108,12 +115,13 @@ class QueryPlanner:
             else:
                 self._charge_single_phase_space(tree, budget)
             tracer.advance(budget.spent - before)
-            span.attrs["budget_spent"] = budget.spent - before
+            span.attrs["budget_spent"] = max(0, budget.spent - before)
         with tracer.span("volcano-physical") as span:
             before = budget.spent
             plan = physical.plan(tree)
             tracer.advance(budget.spent - before)
-            span.attrs["budget_spent"] = budget.spent - before
+            span.attrs["budget_spent"] = max(0, budget.spent - before)
+        self.last_budget_spent = budget.spent
         get_registry().inc("planner.queries_planned")
         get_registry().observe("planner.budget_spent", budget.spent)
         return plan

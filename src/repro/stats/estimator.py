@@ -102,9 +102,15 @@ class Estimator:
     digest, the analogue of Calcite's metadata cache.
     """
 
-    def __init__(self, store: DataStore, fixed_join_estimation: bool):
+    def __init__(
+        self, store: DataStore, fixed_join_estimation: bool, feedback=None
+    ):
         self._store = store
         self._fixed = fixed_join_estimation
+        #: Optional :class:`repro.adaptive.feedback.FeedbackRegistry`:
+        #: observed actual cardinalities override the statistical guess
+        #: for operators whose signature was executed before.
+        self._feedback = feedback
         self._row_cache: Dict[str, float] = {}
 
     # -- row counts --------------------------------------------------------------
@@ -113,9 +119,24 @@ class Estimator:
         digest = node.digest()
         cached = self._row_cache.get(digest)
         if cached is None:
-            cached = max(1.0, self._row_count(node))
+            override = self._feedback_override(node)
+            if override is not None:
+                cached = override
+            else:
+                cached = max(1.0, self._row_count(node))
             self._row_cache[digest] = cached
         return cached
+
+    def _feedback_override(self, node: RelNode) -> Optional[float]:
+        if self._feedback is None:
+            return None
+        observed = self._feedback.row_override(node)
+        if observed is None:
+            return None
+        from repro.obs.metrics import get_registry
+
+        get_registry().inc("adaptive.feedback_overrides")
+        return max(1.0, float(observed))
 
     def _row_count(self, node: RelNode) -> float:
         if isinstance(node, LogicalTableScan):
@@ -314,8 +335,20 @@ class Estimator:
         return max(1e-4, min(1.0, fraction))
 
     def _conjunct_selectivity(self, conjunct: Expr, input_node: RelNode) -> float:
+        """Selectivity of one conjunct, always clamped into [0, 1].
+
+        The clamp is the estimator-wide guarantee that no predicate shape
+        — however the branches below combine (NOT of OR of IN ...) — can
+        estimate more output rows than input rows or a negative count.
+        """
+        return min(1.0, max(0.0, self._conjunct_raw(conjunct, input_node)))
+
+    def _conjunct_raw(self, conjunct: Expr, input_node: RelNode) -> float:
         if isinstance(conjunct, BinaryOp):
             if conjunct.op == "OR":
+                # Inclusion-exclusion, not a sum: summing disjuncts lets
+                # wide OR predicates exceed 1.0 and estimate more output
+                # rows than input rows.
                 left = self._conjunct_selectivity(conjunct.left, input_node)
                 right = self._conjunct_selectivity(conjunct.right, input_node)
                 return min(1.0, left + right - left * right)

@@ -18,6 +18,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
+from repro.adaptive import reset_adaptive_state  # noqa: E402
 from repro.exec.engine import ExecutionEngine  # noqa: E402
 from repro.obs.metrics import reset_registry  # noqa: E402
 from repro.verify.invariants import (  # noqa: E402
@@ -51,6 +52,19 @@ def _reset_metrics_registry():
     reset_registry()
     yield
     reset_registry()
+
+
+@pytest.fixture(autouse=True)
+def _reset_adaptive_state():
+    """Each test starts with empty plan caches and feedback registries.
+
+    Clusters created by module/session-scoped fixtures outlive a single
+    test; wiping their adaptive state keeps cached plans and harvested
+    cardinalities from leaking across tests.
+    """
+    reset_adaptive_state()
+    yield
+    reset_adaptive_state()
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,82 @@
+"""Differential sweep: the adaptive layer must never change answers.
+
+For every workload (company, TPC-H, SSB) and every system preset (IC,
+IC+, IC+M), each query runs three times on a cluster with the plan cache
+and cardinality feedback enabled at an aggressive replan threshold — so
+the sweep exercises cold plans, cache hits AND feedback-driven replans —
+and once on a stock cluster.  All runs must return identical rows.
+
+Replanned plans also pass the structural invariants automatically: the
+suite-wide autouse fixture in conftest.py routes every executed plan
+through :class:`~repro.verify.invariants.PlanValidator`.
+"""
+
+import pytest
+
+from repro.bench.ssb import SSB_QUERIES, load_ssb_cluster
+from repro.bench.tpch import ENABLED_QUERY_IDS, QUERIES, load_tpch_cluster
+from repro.common.config import PRESETS
+
+from helpers import make_company_cluster, normalise
+
+pytestmark = [pytest.mark.adaptive, pytest.mark.verify]
+
+SYSTEMS = ("IC", "IC+", "IC+M")
+
+#: Aggressive settings so replans actually fire during the sweep.
+ADAPTIVE = dict(
+    plan_cache=True, cardinality_feedback=True, replan_q_error_threshold=1.5
+)
+
+COMPANY_QUERIES = (
+    "select name from emp where salary > 100000",
+    "select dept_id, count(*) from emp group by dept_id",
+    "select e.name, d.dept_name from emp e, dept d "
+    "where e.dept_id = d.dept_id and d.budget > 20000",
+    "select e.name, sum(s.amount) from emp e, sales s "
+    "where e.emp_id = s.emp_id group by e.name",
+    "select region, count(*), sum(amount) from sales "
+    "group by region order by region",
+    "select name from emp where dept_id in (1, 2, 3) "
+    "order by salary desc limit 10",
+)
+
+TPCH_QUERY_IDS = tuple(ENABLED_QUERY_IDS)[:6]
+SSB_QUERY_IDS = tuple(sorted(SSB_QUERIES))[:4]
+
+
+def _sweep(adaptive_cluster, fresh_cluster, sql):
+    """Three adaptive runs + one stock run; all must agree or all fail."""
+    fresh = fresh_cluster.try_sql(sql)
+    runs = [adaptive_cluster.try_sql(sql) for _ in range(3)]
+    for run in runs:
+        assert run.status == fresh.status, sql
+    if not fresh.ok:
+        return
+    reference = normalise(fresh.rows)
+    for run in runs:
+        assert normalise(run.rows) == reference, sql
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_company_cached_matches_fresh(system):
+    adaptive = make_company_cluster(PRESETS[system](4, **ADAPTIVE))
+    fresh = make_company_cluster(PRESETS[system](4))
+    for sql in COMPANY_QUERIES:
+        _sweep(adaptive, fresh, sql)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_tpch_cached_matches_fresh(system):
+    adaptive = load_tpch_cluster(PRESETS[system](4, **ADAPTIVE), 0.05)
+    fresh = load_tpch_cluster(PRESETS[system](4), 0.05)
+    for qid in TPCH_QUERY_IDS:
+        _sweep(adaptive, fresh, QUERIES[qid].sql)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_ssb_cached_matches_fresh(system):
+    adaptive = load_ssb_cluster(PRESETS[system](4, **ADAPTIVE), 0.05)
+    fresh = load_ssb_cluster(PRESETS[system](4), 0.05)
+    for qid in SSB_QUERY_IDS:
+        _sweep(adaptive, fresh, SSB_QUERIES[qid].sql)

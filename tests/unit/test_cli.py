@@ -34,6 +34,19 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_adaptive_defaults(self):
+        args = build_parser().parse_args(["adaptive"])
+        assert args.repeats == 3
+        assert args.limit == 8
+        assert args.threshold == 8.0
+        assert args.sf == (0.05,)
+
+    def test_query_no_plan_cache_flag(self):
+        args = build_parser().parse_args(["query", "select 1", "--no-plan-cache"])
+        assert args.no_plan_cache is True
+        args = build_parser().parse_args(["query", "select 1"])
+        assert args.no_plan_cache is False
+
     def test_unknown_system_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["query", "select 1", "--system", "XX"])
@@ -72,3 +85,21 @@ class TestExecution:
             "--sf", "0.1",
         ])
         assert "1 rows" in capsys.readouterr().out
+
+    def test_query_no_plan_cache_matches_default(self, capsys):
+        main(["query", "select count(*) from region", "--sf", "0.1"])
+        cached = capsys.readouterr().out
+        main([
+            "query", "select count(*) from region", "--sf", "0.1",
+            "--no-plan-cache",
+        ])
+        assert capsys.readouterr().out == cached
+
+    def test_adaptive_command_reports_savings(self, capsys):
+        main([
+            "adaptive", "--sf", "0.05", "--limit", "2", "--repeats", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "adaptive bench: IC+ @ 4 sites" in out
+        assert "rows stable across repeats: yes" in out
+        assert "ticks(1st)" in out

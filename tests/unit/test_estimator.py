@@ -205,6 +205,55 @@ class TestSelectivity:
     def test_true_literal_is_one(self, est, store):
         assert est.selectivity(Literal(True), scan(store, "emp")) == 1.0
 
+    def test_q19_style_or_of_ands_stays_within_input(self, est, store):
+        """Regression: an OR of AND-branches (the TPC-H Q19 shape) must
+        estimate selectivity in [0, 1] and never more output rows than
+        input rows, no matter how many branches pile up."""
+        emp = scan(store, "emp")
+
+        def branch(dept, low, high):
+            return BinaryOp(
+                "AND",
+                BinaryOp("=", ColRef(1), Literal(dept)),
+                BinaryOp(
+                    "AND",
+                    BinaryOp(">=", ColRef(3), Literal(low)),
+                    BinaryOp("<=", ColRef(3), Literal(high)),
+                ),
+            )
+
+        cond = branch(1, 30_000.0, 200_000.0)
+        for dept in range(2, 9):
+            cond = BinaryOp("OR", cond, branch(dept, 30_000.0, 200_000.0))
+        sel = est.selectivity(cond, emp)
+        assert 0.0 <= sel <= 1.0
+        filtered = LogicalFilter(emp, cond)
+        assert est.row_count(filtered) <= est.row_count(emp)
+
+    def test_wide_or_chain_clamped(self, est, store):
+        """Eight disjuncts each at ~1/8 must converge below 1.0, not sum
+        past it."""
+        emp = scan(store, "emp")
+        disjuncts = [BinaryOp("=", ColRef(1), Literal(d)) for d in range(1, 9)]
+        cond = disjuncts[0]
+        for d in disjuncts[1:]:
+            cond = BinaryOp("OR", cond, d)
+        assert 0.0 <= est.selectivity(cond, emp) <= 1.0
+
+    def test_every_conjunct_shape_clamped(self, est, store):
+        """The _conjunct_selectivity wrapper guarantees [0, 1] for every
+        predicate shape, including negations and IN lists wider than the
+        column's distinct count."""
+        emp = scan(store, "emp")
+        shapes = [
+            InList(ColRef(1), list(range(1000))),  # 1000 values, 8 distinct
+            UnaryOp("NOT", InList(ColRef(1), list(range(1000)))),
+            UnaryOp("NOT", Literal(True)),
+            LikeExpr(ColRef(2), "%", negated=True),
+        ]
+        for cond in shapes:
+            assert 0.0 <= est.selectivity(cond, emp) <= 1.0
+
 
 class TestDistinctPropagation:
     def test_scan_distinct(self, est, store):

@@ -39,6 +39,23 @@ class TestBudget:
             pass
         assert budget.remaining == 0
 
+    def test_remaining_floors_at_zero_after_overrun(self):
+        """The charge that raises leaves spent > limit; every later read
+        of ``remaining`` must still report 0, not a negative count."""
+        budget = PlanningBudget(5)
+        with pytest.raises(PlanningTimeoutError):
+            budget.charge(100)
+        assert budget.spent == 100
+        assert budget.remaining == 0
+
+    def test_negative_charge_rejected(self):
+        """Regression: a negative charge could silently refund budget and
+        mask an overrun; it now fails fast."""
+        budget = PlanningBudget(10)
+        with pytest.raises(ValueError):
+            budget.charge(-1)
+        assert budget.spent == 0
+
 
 class TestHepPlanner:
     def test_reaches_fixpoint(self):

@@ -34,6 +34,46 @@ class TestConstruction:
         assert histogram is not None
         assert len(histogram.boundaries) <= 65
 
+    def test_degenerate_boundaries_rejected(self):
+        """A 'histogram' whose boundaries hold one distinct value prices
+        every range at 0 or 1 — the constructor refuses it."""
+        with pytest.raises(ValueError):
+            EquiDepthHistogram([7, 7])
+        with pytest.raises(ValueError):
+            EquiDepthHistogram([7] * 65)
+
+    def test_property_constant_and_near_constant_columns(self):
+        """Property sweep: for any mix of one dominant value and a handful
+        of outliers, ``build`` either returns None (nothing to summarise)
+        or a histogram with two distinct end boundaries whose estimates
+        stay inside [0, 1]."""
+        rng = random.Random(17)
+        for trial in range(50):
+            dominant = rng.randrange(-5, 5)
+            outliers = rng.randrange(0, 4)
+            values = [dominant] * rng.randrange(2, 400)
+            values += [dominant + rng.randrange(1, 100) for _ in range(outliers)]
+            rng.shuffle(values)
+            histogram = EquiDepthHistogram.build(values)
+            if len(set(values)) == 1:
+                assert histogram is None, f"trial {trial}: constant column"
+                continue
+            # Near-constant columns may still be summarisable; when they
+            # are, the histogram must be well-formed.
+            if histogram is None:
+                continue
+            assert histogram.boundaries[0] != histogram.boundaries[-1]
+            for probe in (min(values) - 1, dominant, max(values) + 1):
+                fraction = histogram.fraction_below(probe)
+                assert 0.0 <= fraction <= 1.0
+
+    def test_constant_after_sampling_returns_none(self):
+        """A column whose sample collapses to one value (one outlier in a
+        sea of constants, dropped by the stride sample) must yield None,
+        not a degenerate histogram."""
+        values = [5] * 100_000 + [6]
+        assert EquiDepthHistogram.build(values) is None
+
 
 class TestEstimation:
     def test_uniform_fraction_below(self):

@@ -1,0 +1,80 @@
+"""Unit tests for the LRU plan cache (repro.adaptive.cache)."""
+
+import pytest
+
+from repro.adaptive.cache import CacheEntry, PlanCache
+from repro.obs.metrics import get_registry
+
+pytestmark = pytest.mark.adaptive
+
+
+def entry(key, literals=(), plan="plan"):
+    return CacheEntry(key=key, literals=tuple(literals), plan=plan)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = PlanCache(4)
+        assert cache.lookup("k", ()) is None
+        cache.store(entry("k"))
+        found = cache.lookup("k", ())
+        assert found is not None and found.plan == "plan"
+        registry = get_registry()
+        assert registry.counter("plan_cache.misses") == 1.0
+        assert registry.counter("plan_cache.hits") == 1.0
+
+    def test_literal_mismatch_is_a_miss(self):
+        cache = PlanCache(4)
+        cache.store(entry("k", literals=(5,)))
+        assert cache.lookup("k", (6,)) is None
+        assert cache.lookup("k", (5,)) is not None
+
+    def test_hit_counts_per_entry(self):
+        cache = PlanCache(4)
+        cache.store(entry("k"))
+        cache.lookup("k", ())
+        cache.lookup("k", ())
+        assert cache.peek("k").hits == 2
+
+    def test_peek_is_silent(self):
+        cache = PlanCache(4)
+        cache.store(entry("k"))
+        cache.peek("k")
+        registry = get_registry()
+        assert registry.counter("plan_cache.hits") == 0.0
+        assert registry.counter("plan_cache.misses") == 0.0
+
+
+class TestEviction:
+    def test_lru_eviction_over_capacity(self):
+        cache = PlanCache(2)
+        cache.store(entry("a"))
+        cache.store(entry("b"))
+        cache.lookup("a", ())  # a is now most recently used
+        cache.store(entry("c"))  # evicts b
+        assert cache.peek("b") is None
+        assert cache.peek("a") is not None
+        assert cache.peek("c") is not None
+        assert get_registry().counter("plan_cache.evictions") == 1.0
+
+    def test_explicit_evict(self):
+        cache = PlanCache(4)
+        cache.store(entry("a"))
+        cache.evict("a")
+        assert cache.peek("a") is None
+        cache.evict("a")  # idempotent
+
+    def test_clear_counts_invalidations(self):
+        cache = PlanCache(4)
+        cache.store(entry("a"))
+        cache.store(entry("b"))
+        cache.clear()
+        assert len(cache) == 0
+        assert get_registry().counter("plan_cache.invalidations") == 2.0
+
+    def test_restore_same_key_replaces(self):
+        cache = PlanCache(2)
+        cache.store(entry("a", plan="old"))
+        cache.store(entry("a", plan="new"))
+        assert len(cache) == 1
+        assert cache.peek("a").plan == "new"

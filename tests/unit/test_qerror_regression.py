@@ -82,10 +82,15 @@ def test_explain_analyze_reports_per_operator_q_error():
 def test_max_q_error_is_the_worst_operator():
     cluster = load_tpch_cluster(SystemConfig.ic(4), 0.05)
     result = cluster.sql(SMALL_INPUT_JOIN)
+    # broadcast operators are excluded: their actuals sum every copy
     per_op = [
         q_error(op.rows_est, result.operator_actuals[id(op)][0])
         for fragment in result.fragment_trees
         for op in fragment.operators()
         if id(op) in result.operator_actuals
+        and not (
+            getattr(op, "distribution", None) is not None
+            and op.distribution.is_broadcast
+        )
     ]
     assert result.max_q_error() == max(per_op)
