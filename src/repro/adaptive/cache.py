@@ -16,6 +16,13 @@ Metrics (process-wide registry):
 * ``plan_cache.invalidations`` — entries dropped by DDL;
 * ``plan_cache.replans`` — feedback-driven evictions (observed q-error
   over threshold), counted by the controller.
+
+When a request is served inside a :func:`repro.obs.metrics.tenant_scope`
+(the multi-tenant serving layer), every series additionally carries a
+``tenant`` label, attributing hits/misses/evictions to the tenant whose
+query caused them.  The cache itself stays shared across tenants — one
+entry per plan shape cluster-wide — so DDL invalidation clears every
+tenant's view at once.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.exec.physical import PhysNode
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, tenant_labels
 
 DEFAULT_CAPACITY = 64
 
@@ -64,11 +71,11 @@ class PlanCache:
     def lookup(self, key: str, literals: Tuple) -> Optional[CacheEntry]:
         entry = self._entries.get(key)
         if entry is None or entry.literals != literals:
-            get_registry().inc("plan_cache.misses")
+            get_registry().inc("plan_cache.misses", **tenant_labels())
             return None
         self._entries.move_to_end(key)
         entry.hits += 1
-        get_registry().inc("plan_cache.hits")
+        get_registry().inc("plan_cache.hits", **tenant_labels())
         return entry
 
     def peek(self, key: str) -> Optional[CacheEntry]:
@@ -80,7 +87,7 @@ class PlanCache:
         self._entries.move_to_end(entry.key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            get_registry().inc("plan_cache.evictions")
+            get_registry().inc("plan_cache.evictions", **tenant_labels())
 
     def evict(self, key: str) -> bool:
         if key in self._entries:
@@ -92,6 +99,6 @@ class PlanCache:
         """Drop everything (DDL invalidation); returns entries dropped."""
         dropped = len(self._entries)
         if dropped:
-            get_registry().inc("plan_cache.invalidations", dropped)
+            get_registry().inc("plan_cache.invalidations", dropped, **tenant_labels())
         self._entries.clear()
         return dropped

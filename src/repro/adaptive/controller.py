@@ -26,7 +26,7 @@ from repro.adaptive.cache import CacheEntry, PlanCache
 from repro.adaptive.feedback import FeedbackRegistry
 from repro.adaptive.signature import PlanSignature, plan_signature
 from repro.exec.physical import PhysNode
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, tenant_labels
 from repro.rel.logical import RelNode
 
 #: Live controllers, tracked so the test suite can wipe adaptive state
@@ -128,7 +128,7 @@ class AdaptiveController:
         ):
             self.cache.evict(key)
             self._pending_replans.add(key)
-            get_registry().inc("plan_cache.replans")
+            get_registry().inc("plan_cache.replans", **tenant_labels())
 
     # -- invalidation ------------------------------------------------------
 

@@ -27,7 +27,7 @@ from typing import Dict, Optional
 
 from repro.adaptive.signature import operator_signature
 from repro.exec.physical import PhysLimit, PhysNode, PhysSort
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, tenant_labels
 
 
 @dataclass
@@ -87,7 +87,7 @@ class FeedbackRegistry:
                 self.record(signature, float(actual[0]))
                 recorded += 1
         if recorded:
-            get_registry().inc("adaptive.feedback_observations", recorded)
+            get_registry().inc("adaptive.feedback_observations", recorded, **tenant_labels())
         return recorded
 
     @staticmethod

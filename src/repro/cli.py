@@ -17,6 +17,13 @@
     repro-bench adaptive  [--queries tpch] [--system IC+] [--sf 0.05]
                           [--sites 4] [--repeats 3] [--limit 8]
                           [--threshold 8.0]
+    repro-bench serve     [--queries tpch] [--systems IC,IC+,IC+M] [--sf 0.05]
+                          [--sites 4] [--tenants 2] [--rate 1.0]
+                          [--duration 30] [--seed 0] [--policy fifo]
+                          [--arrivals poisson] [--max-concurrent 0]
+                          [--queue-depth 0] [--tenant-slots 0]
+                          [--shed-wait None] [--limit 4] [--no-plan-cache]
+                          [--out slo.json] [--smoke]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
                                    [--explain] [--analyze] [--no-plan-cache]
     repro-bench trace Q3  [--system IC+M] [--bench tpch] [--sf 0.05]
@@ -29,6 +36,11 @@ estimated vs actual rows and per-operator q-error; ``EXPLAIN [ANALYZE]
 select ...`` works as SQL too).  ``trace`` executes one benchmark query
 with tracing enabled and dumps the ``repro-trace/v1`` JSON artefact
 (optionally also Chrome trace-event format for chrome://tracing).
+``serve`` runs seeded multi-tenant traffic through the admission
+controller and shared scheduler and prints per-tenant SLO tables
+(p50/p95/p99, throughput, rejections, cache hit-rate); ``--smoke`` is the
+tier-1 variant: a tiny deterministic run whose ``repro-serve/v1``
+artefact is schema-validated, exiting non-zero on violation.
 ``adaptive`` repeats a workload slice on a plan-cache +
 cardinality-feedback cluster and reports planning-tick savings, cache
 hits, feedback replans and q-error drift (rows are diffed across repeats
@@ -213,6 +225,75 @@ def cmd_adaptive(args) -> None:
     print(result.to_text())
     if not result.rows_stable:
         sys.exit(EXIT_MISMATCH)
+
+
+def cmd_serve(args) -> None:
+    import json
+
+    from repro.bench.serve import (
+        ServeBenchError,
+        build_tenants,
+        run_serve_bench,
+    )
+
+    if args.queries == "tpch":
+        loader = load_tpch_cluster
+        pool = {
+            f"Q{qid}": QUERIES[qid].sql
+            for qid in ENABLED_QUERY_IDS
+            if qid not in IC_FAILING_QUERY_IDS
+        }
+    else:
+        loader = load_ssb_cluster
+        pool = {qid: SSB_QUERIES[qid].sql for qid in SSB_QUERIES}
+    if args.smoke:
+        # Tiny deterministic run for CI: one system, short horizon, small
+        # mix — exercises the full pipeline and validates the artefact.
+        systems = ["IC+"]
+        sf, duration, limit = 0.01, 5.0, 2
+    else:
+        systems = [s.strip() for s in args.systems.split(",")]
+        sf, duration, limit = args.sf[0], args.duration, args.limit
+    try:
+        tenants = build_tenants(
+            pool,
+            tenants=args.tenants,
+            rate=args.rate,
+            arrivals=args.arrivals,
+            limit=limit,
+            clients=args.clients,
+        )
+        bench = run_serve_bench(
+            loader,
+            pool,
+            systems,
+            sf,
+            tenants,
+            duration,
+            seed=args.seed,
+            sites=args.sites[0],
+            policy=args.policy,
+            max_concurrent=args.max_concurrent,
+            queue_depth=args.queue_depth,
+            tenant_slots=args.tenant_slots,
+            shed_wait_seconds=args.shed_wait,
+            plan_cache=not args.no_plan_cache,
+        )
+    except ServeBenchError as exc:
+        print(f"bad serve parameters: {exc}")
+        sys.exit(EXIT_USAGE)
+    print(bench.to_text())
+    problems = bench.validate()
+    if args.out:
+        payload = json.dumps(bench.to_dict(), indent=2, sort_keys=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"SLO artefact written to {args.out}")
+    if problems:
+        print("invalid SLO artefact: " + "; ".join(problems))
+        sys.exit(EXIT_CRASH)
+    if args.smoke:
+        print("serve smoke: artefact valid")
 
 
 def cmd_query(args) -> None:
@@ -528,6 +609,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p, default_sf="0.05", default_sites="4")
     p.set_defaults(func=cmd_adaptive)
+
+    p = sub.add_parser(
+        "serve", help="multi-tenant serving with admission control + SLOs"
+    )
+    p.add_argument("--queries", choices=("tpch", "ssb"), default="tpch")
+    p.add_argument("--systems", default="IC,IC+,IC+M")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenants", type=int, default=2)
+    p.add_argument(
+        "--rate", type=float, default=1.0,
+        help="per-tenant arrival rate (queries/simulated second)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=30.0,
+        help="simulated seconds of traffic (work drains afterwards)",
+    )
+    p.add_argument(
+        "--policy", choices=("fifo", "priority", "wfq"), default="fifo"
+    )
+    p.add_argument(
+        "--arrivals", choices=("poisson", "bursty", "closed"),
+        default="poisson",
+    )
+    p.add_argument(
+        "--clients", type=int, default=2,
+        help="closed-loop clients per tenant (with --arrivals closed)",
+    )
+    p.add_argument(
+        "--max-concurrent", type=int, default=0,
+        help="global concurrent-query cap (0 = unbounded)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=0,
+        help="run-queue bound; arrivals beyond it are REJECTED (0 = unbounded)",
+    )
+    p.add_argument(
+        "--tenant-slots", type=int, default=0,
+        help="per-tenant concurrency cap (0 = unbounded)",
+    )
+    p.add_argument(
+        "--shed-wait", type=float, default=None,
+        help="shed queued queries older than this many simulated seconds",
+    )
+    p.add_argument(
+        "--limit", type=int, default=4,
+        help="query-mix slice size (first N pool queries, 0 = all)",
+    )
+    p.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="disable the adaptive layer (plan cache + feedback)",
+    )
+    p.add_argument(
+        "--out", default=None, help="write the SLO JSON artefact here"
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="tiny deterministic CI run; non-zero exit on artefact violation",
+    )
+    common(p, default_sf="0.05", default_sites="4")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")

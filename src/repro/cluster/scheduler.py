@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.constants import CORE_UNITS_PER_SECOND
 from repro.common.errors import ExecutionError, SiteFailureError
@@ -156,7 +157,14 @@ class WorkloadSimulator:
         self._open_tasks: Dict[int, int] = {}
         self._completions: Dict[int, float] = {}
         self._submit_times: Dict[int, float] = {}
+        #: tag -> time its first task started executing (queue-wait split).
+        self._first_start: Dict[int, float] = {}
         self.on_complete: Optional[Callable[[int, float], None]] = None
+        # -- generic timed events (the serving layer's arrival clock) -------
+        #: (time, seq, callback) heap, interleaved with task completions in
+        #: time order; lets repro.serve inject arrivals/admission decisions
+        #: at exact simulated times.
+        self._event_heap: List[Tuple[float, int, Callable[[], None]]] = []
         # -- fault state ----------------------------------------------------
         self._down = [False] * sites
         self._speed = [1.0] * sites
@@ -167,6 +175,18 @@ class WorkloadSimulator:
         self.redispatched_tasks = 0
         #: Crash events that actually took a site down.
         self.crashes_fired = 0
+        #: Tags that lost tasks to a crash and had them re-dispatched —
+        #: they completed, but below full strength.
+        self.degraded_tags: Set[int] = set()
+        #: tag -> the SiteFailureError that killed it (per-tag failure mode).
+        self.failed_tags: Dict[int, SiteFailureError] = {}
+        #: With re-dispatch off, a crash normally fails the whole run; when
+        #: this callback is set, only the tags with unfinished tasks on the
+        #: dead site are cancelled (and reported here) — the serving layer's
+        #: blast-radius containment.
+        self.on_tag_failed: Optional[Callable[[int, SiteFailureError], None]] = None
+        self._finished_tasks: Set[int] = set()
+        self._cancelled_tasks: Set[int] = set()
 
     # -- fault scheduling -------------------------------------------------------
 
@@ -226,13 +246,28 @@ class WorkloadSimulator:
         )
         queued = sorted(self._site_queues[site])
         self._site_queues[site] = []
-        if (lost or queued) and not self.redispatch_on_failure:
-            raise SiteFailureError(
-                f"site {site} died holding {len(lost)} running and "
-                f"{len(queued)} queued task(s)",
-                site=site,
-                at=self._now,
-            )
+        if not self.redispatch_on_failure:
+            if self.on_tag_failed is not None:
+                # Per-tag failure mode: cancel only the queries that still
+                # have unfinished tasks placed on the dead site; everything
+                # else keeps running.
+                self._fail_tags_on(site)
+                return
+            if lost or queued:
+                raise SiteFailureError(
+                    f"site {site} died holding {len(lost)} running and "
+                    f"{len(queued)} queued task(s)",
+                    site=site,
+                    at=self._now,
+                )
+        for tid, task in self._tasks.items():
+            if (
+                task.site == site
+                and tid not in self._finished_tasks
+                and tid not in self._cancelled_tasks
+                and self._tag_of[tid] in self._open_tasks
+            ):
+                self.degraded_tags.add(self._tag_of[tid])
         if lost:
             lost_set = set(lost)
             self._running = [
@@ -253,10 +288,77 @@ class WorkloadSimulator:
                 "scheduler.redispatched_tasks", len(lost) + len(queued)
             )
 
+    def _fail_tags_on(self, site: int) -> None:
+        """Cancel every tag with an unfinished task placed on ``site``."""
+        affected = set()
+        for tid, task in self._tasks.items():
+            if tid in self._finished_tasks or tid in self._cancelled_tasks:
+                continue
+            if task.site == site and self._tag_of[tid] in self._open_tasks:
+                affected.add(self._tag_of[tid])
+        for tag in sorted(affected):
+            self._fail_tag(
+                tag,
+                SiteFailureError(
+                    f"site {site} died with unfinished tasks of tag {tag}",
+                    site=site,
+                    at=self._now,
+                ),
+            )
+
+    def _fail_tag(self, tag: int, error: SiteFailureError) -> None:
+        """Remove every unfinished task of ``tag`` from the simulation."""
+        doomed = {
+            tid
+            for tid, t in self._tag_of.items()
+            if t == tag
+            and tid not in self._finished_tasks
+            and tid not in self._cancelled_tasks
+        }
+        self._cancelled_tasks.update(doomed)
+        for site in range(self.sites):
+            queue = self._site_queues[site]
+            if any(tid in doomed for _, _, tid in queue):
+                self._site_queues[site] = [
+                    entry for entry in queue if entry[2] not in doomed
+                ]
+                heapq.heapify(self._site_queues[site])
+        if any(tid in doomed for _, tid in self._running):
+            self._running = [
+                (finish, tid)
+                for finish, tid in self._running
+                if tid not in doomed
+            ]
+            heapq.heapify(self._running)
+        for tid in doomed:
+            site = self._running_site.pop(tid, None)
+            if site is not None and not self._down[site]:
+                self._free_cores[site] += 1
+        del self._open_tasks[tag]
+        self.failed_tags[tag] = error
+        get_registry().inc("scheduler.failed_tags")
+        if self.on_tag_failed is not None:
+            self.on_tag_failed(tag, error)
+
     def _process_due_faults(self) -> None:
         while self._fault_heap and self._fault_heap[0][0] <= self._now:
             _, _, kind, payload = heapq.heappop(self._fault_heap)
             self._apply_fault(kind, payload)
+
+    # -- timed events -----------------------------------------------------------
+
+    def schedule_event(self, at: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at simulated time ``at`` (during :meth:`run`).
+
+        Events interleave with task completions and fault events in time
+        order; ties go fault, then event, then completion.  The callback
+        runs with the simulator clock at ``at`` and may submit new task
+        graphs or schedule further events — this is how the serving layer
+        drives open-loop arrivals and admission decisions.
+        """
+        if at < 0:
+            raise ExecutionError("event time must be >= 0")
+        heapq.heappush(self._event_heap, (at, next(self._seq), callback))
 
     # -- submission -------------------------------------------------------------
 
@@ -273,6 +375,7 @@ class WorkloadSimulator:
             # workload wedges.  Clear the open entry first so the callback
             # may resubmit under the same tag.
             self._completions[tag] = at
+            self._first_start.setdefault(tag, at)
             del self._open_tasks[tag]
             if self.on_complete is not None:
                 self.on_complete(tag, at)
@@ -309,23 +412,42 @@ class WorkloadSimulator:
         """Run until all work drains (or simulated ``until`` is passed).
 
         Fault events scheduled via ``schedule_crash``/``schedule_slowdown``
-        are interleaved with task completions in time order; on a tie the
-        fault is applied first (a task cannot finish on a site at the very
-        instant the site dies).
+        and timed events from ``schedule_event`` are interleaved with task
+        completions in time order; on a tie the fault is applied first (a
+        task cannot finish on a site at the very instant the site dies),
+        then events, then completions.
         """
         self._process_due_faults()
         self._dispatch()
-        while self._running or (self._fault_heap and self._open_tasks):
-            next_finish = self._running[0][0] if self._running else None
-            if self._fault_heap and (
-                next_finish is None or self._fault_heap[0][0] <= next_finish
-            ):
+        while (
+            self._running
+            or self._event_heap
+            or (self._fault_heap and self._open_tasks)
+        ):
+            next_finish = self._running[0][0] if self._running else math.inf
+            next_event = (
+                self._event_heap[0][0] if self._event_heap else math.inf
+            )
+            next_fault = (
+                self._fault_heap[0][0] if self._fault_heap else math.inf
+            )
+            if next_fault <= next_event and next_fault <= next_finish:
                 at, _, kind, payload = heapq.heappop(self._fault_heap)
                 if until is not None and at > until:
                     self._now = until
                     return self._now
                 self._now = max(self._now, at)
                 self._apply_fault(kind, payload)
+                self._process_due_faults()
+                self._dispatch()
+                continue
+            if next_event <= next_finish:
+                if until is not None and next_event > until:
+                    self._now = until
+                    return self._now
+                at, _, callback = heapq.heappop(self._event_heap)
+                self._now = max(self._now, at)
+                callback()
                 self._process_due_faults()
                 self._dispatch()
                 continue
@@ -342,6 +464,7 @@ class WorkloadSimulator:
         return self._now
 
     def _finish_task(self, task_id: int) -> None:
+        self._finished_tasks.add(task_id)
         tag = self._tag_of[task_id]
         self._open_tasks[tag] -= 1
         if self._open_tasks[tag] == 0:
@@ -360,12 +483,15 @@ class WorkloadSimulator:
             # *all* sites.  Jumping to the first non-empty queue's head
             # (the old behaviour) could skip past earlier releases at
             # later-numbered sites, starting those tasks late.  Never jump
-            # past a pending fault event: the fault must be applied before
-            # any task the jump would start (run() handles it next).
+            # past a pending fault or timed event: both must be applied
+            # before any task the jump would start (run() handles it next).
             heads = [q[0][0] for q in self._site_queues if q]
             if heads:
                 jump = min(heads)
-                if not (self._fault_heap and self._fault_heap[0][0] <= jump):
+                blocked = (
+                    self._fault_heap and self._fault_heap[0][0] <= jump
+                ) or (self._event_heap and self._event_heap[0][0] <= jump)
+                if not blocked:
                     self._now = max(self._now, jump)
         for site in range(self.sites):
             if self._down[site]:
@@ -378,6 +504,9 @@ class WorkloadSimulator:
                 heapq.heappop(queue)
                 self._free_cores[site] -= 1
                 task = self._tasks[task_id]
+                tag = self._tag_of[task_id]
+                if tag not in self._first_start:
+                    self._first_start[tag] = self._now
                 duration = task.duration / self._speed[site]
                 self._running_site[task_id] = site
                 heapq.heappush(
@@ -388,11 +517,46 @@ class WorkloadSimulator:
 
     def completion_time(self, tag: int) -> float:
         if tag not in self._completions:
-            raise ExecutionError(f"tag {tag} has not completed")
+            if tag not in self._submit_times:
+                raise ExecutionError(
+                    f"unknown tag {tag}: never submitted to this simulator"
+                )
+            if tag in self.failed_tags:
+                raise ExecutionError(
+                    f"tag {tag} failed and will never complete: "
+                    f"{self.failed_tags[tag]}"
+                )
+            raise ExecutionError(
+                f"tag {tag} has not completed (submitted at "
+                f"{self._submit_times[tag]:.3f}s; did run() finish?)"
+            )
         return self._completions[tag]
 
     def latency(self, tag: int) -> float:
+        """Completion minus submission for ``tag`` (queue wait included)."""
+        if tag not in self._submit_times:
+            raise ExecutionError(
+                f"unknown tag {tag}: never submitted to this simulator"
+            )
         return self.completion_time(tag) - self._submit_times[tag]
+
+    def queue_wait(self, tag: int) -> float:
+        """Seconds ``tag`` waited for its first task to start executing.
+
+        The serving layer's latency split: ``latency == queue_wait +
+        (completion - first task start)``.  Zero for a query submitted to
+        an idle cluster.
+        """
+        if tag not in self._submit_times:
+            raise ExecutionError(
+                f"unknown tag {tag}: never submitted to this simulator"
+            )
+        if tag not in self._first_start:
+            raise ExecutionError(
+                f"tag {tag} has not started executing (still queued, "
+                "failed, or run() has not reached its release time)"
+            )
+        return self._first_start[tag] - self._submit_times[tag]
 
     @property
     def now(self) -> float:

@@ -136,6 +136,27 @@ class SystemConfig:
     #: (requires both ``plan_cache`` and ``cardinality_feedback``).
     replan_q_error_threshold: float = 8.0
 
+    # ----- multi-tenant serving (repro.serve) --------------------------------------
+    #: Run-queue ordering for the serving layer's admission controller:
+    #: ``fifo`` (arrival order), ``priority`` (higher tenant priority
+    #: first, FIFO within a priority), or ``wfq`` (weighted fair queueing
+    #: across tenants by their weights).
+    serve_policy: str = "fifo"
+    #: Queries executing concurrently across the cluster (0 = unbounded).
+    #: 1 serialises the workload — each query then reproduces its
+    #: single-query makespan exactly.
+    serve_max_concurrent: int = 0
+    #: Bounded run queue: arrivals beyond this many waiting queries are
+    #: REJECTED outright (0 = unbounded, admission never rejects).
+    serve_queue_depth: int = 0
+    #: Per-tenant cap on concurrently executing queries (0 = uncapped;
+    #: a TenantSpec may override per tenant).
+    serve_tenant_slots: int = 0
+    #: Deadline-based shedding: a queued query still waiting after this
+    #: many simulated seconds is REJECTED instead of dispatched (None =
+    #: never shed).
+    serve_shed_wait_seconds: Optional[float] = None
+
     # ----- correctness harness ---------------------------------------------------
     #: Run the differential correctness harness (repro.verify) on every
     #: query: physical plans are checked against structural invariants

@@ -66,6 +66,11 @@ class QueryStatus(enum.Enum):
     #: The query succeeded in one attempt but at reduced strength: dead
     #: sites at start and/or tasks re-dispatched after a mid-flight crash.
     DEGRADED = "degraded"
+    # -- serving taxonomy (repro.serve) ------------------------------------
+    #: Admission control refused the query: the run queue was full at
+    #: arrival, or the request was shed after waiting past its deadline.
+    #: The query never executed (and never will without resubmission).
+    REJECTED = "rejected"
 
 
 @dataclass

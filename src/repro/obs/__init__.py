@@ -8,10 +8,15 @@ zero-dependency; with ``SystemConfig.tracing`` off the tracer is inert.
 """
 
 from repro.obs.metrics import (
+    HistogramSummary,
     MetricsRegistry,
+    current_tenant,
     get_registry,
     q_error,
     reset_registry,
+    reset_tenant_scope,
+    tenant_labels,
+    tenant_scope,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -24,15 +29,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "HistogramSummary",
     "MetricsRegistry",
     "NULL_TRACER",
     "Span",
     "TRACE_SCHEMA",
     "Tracer",
     "activate",
+    "current_tenant",
     "get_registry",
     "get_tracer",
     "q_error",
     "reset_registry",
+    "reset_tenant_scope",
+    "tenant_labels",
+    "tenant_scope",
     "validate_trace",
 ]

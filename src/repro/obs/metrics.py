@@ -19,8 +19,10 @@ fixture in ``tests/conftest.py``.
 
 from __future__ import annotations
 
+import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -39,22 +41,53 @@ def _flat(key: MetricKey) -> str:
 
 @dataclass
 class HistogramSummary:
-    """Summary statistics for one histogram series."""
+    """Summary statistics for one histogram series.
+
+    Samples are retained (the simulation produces bounded, deterministic
+    series) so the summary can answer exact percentile queries — the SLO
+    reports in :mod:`repro.serve.slo` are built on ``percentile``.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    #: Every observed value, in observation order.
+    values: List[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self.values.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) with linear interpolation.
+
+        ``q=0`` is the minimum, ``q=1`` the maximum, ``q=0.5`` the median;
+        between sample ranks the value is interpolated linearly (the
+        "linear" method of ``numpy.percentile``).  Raises ``ValueError``
+        on an empty histogram or a ``q`` outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q={q} outside [0, 1]")
+        if not self.values:
+            raise ValueError("percentile of an empty histogram")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return ordered[lower]
+        fraction = position - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 class MetricsRegistry:
@@ -160,6 +193,54 @@ def get_registry() -> MetricsRegistry:
 def reset_registry() -> None:
     """Clear the process-wide registry (test isolation)."""
     _REGISTRY.reset()
+
+
+# -- tenant attribution -------------------------------------------------------
+#
+# The serving layer (repro.serve) multiplexes many tenants over one cluster.
+# Shared components (plan cache, feedback registry, estimator) emit metrics
+# without knowing who they are serving; the server brackets each request in a
+# ``tenant_scope`` and the emission sites splice ``tenant_labels()`` into
+# their label sets.  Outside any scope the helpers are no-ops, so single-query
+# paths keep their historical unlabelled series names.
+
+_TENANT_STACK: List[str] = []
+
+
+def current_tenant() -> Optional[str]:
+    """The tenant whose request is being served, or None outside serving."""
+    return _TENANT_STACK[-1] if _TENANT_STACK else None
+
+
+@contextmanager
+def tenant_scope(tenant: Optional[str]):
+    """Attribute metrics emitted inside the block to ``tenant``.
+
+    ``None`` is a no-op scope so callers can pass an optional tenant
+    straight through.
+    """
+    if tenant is None:
+        yield
+        return
+    _TENANT_STACK.append(str(tenant))
+    try:
+        yield
+    finally:
+        # reset_tenant_scope() may have cleared the stack mid-scope
+        # (test teardown after a failure) — exiting must stay safe.
+        if _TENANT_STACK:
+            _TENANT_STACK.pop()
+
+
+def tenant_labels() -> Dict[str, str]:
+    """``{"tenant": <current>}`` inside a scope, ``{}`` outside."""
+    tenant = current_tenant()
+    return {"tenant": tenant} if tenant is not None else {}
+
+
+def reset_tenant_scope() -> None:
+    """Drop any active tenant scopes (test isolation / crash recovery)."""
+    _TENANT_STACK.clear()
 
 
 # -- estimation quality -------------------------------------------------------

@@ -133,9 +133,9 @@ class Estimator:
         observed = self._feedback.row_override(node)
         if observed is None:
             return None
-        from repro.obs.metrics import get_registry
+        from repro.obs.metrics import get_registry, tenant_labels
 
-        get_registry().inc("adaptive.feedback_overrides")
+        get_registry().inc("adaptive.feedback_overrides", **tenant_labels())
         return max(1.0, float(observed))
 
     def _row_count(self, node: RelNode) -> float:

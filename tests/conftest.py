@@ -21,6 +21,7 @@ sys.path.insert(
 from repro.adaptive import reset_adaptive_state  # noqa: E402
 from repro.exec.engine import ExecutionEngine  # noqa: E402
 from repro.obs.metrics import reset_registry  # noqa: E402
+from repro.serve import reset_serve_state  # noqa: E402
 from repro.verify.invariants import (  # noqa: E402
     PlanValidator,
     check_execution_result,
@@ -65,6 +66,19 @@ def _reset_adaptive_state():
     reset_adaptive_state()
     yield
     reset_adaptive_state()
+
+
+@pytest.fixture(autouse=True)
+def _reset_serve_state():
+    """Each test starts outside any tenant scope.
+
+    A test that raises from inside ``tenant_scope`` would otherwise leave
+    the tenant label stack non-empty and silently attach tenant labels to
+    every later test's metrics.
+    """
+    reset_serve_state()
+    yield
+    reset_serve_state()
 
 
 @pytest.fixture(autouse=True)

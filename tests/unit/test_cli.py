@@ -103,3 +103,28 @@ class TestExecution:
         assert "adaptive bench: IC+ @ 4 sites" in out
         assert "rows stable across repeats: yes" in out
         assert "ticks(1st)" in out
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.queries == "tpch"
+        assert args.tenants == 2
+        assert args.policy == "fifo"
+        assert args.arrivals == "poisson"
+        assert args.smoke is False
+
+    def test_serve_smoke_gate(self, capsys, tmp_path):
+        """The tier-1 gate: a tiny serving run whose SLO artefact must
+        validate — `main` exits non-zero (SystemExit) on any schema
+        violation, so this test failing means the gate fired."""
+        import json
+
+        out_path = tmp_path / "slo.json"
+        main(["serve", "--smoke", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "serve smoke: artefact valid" in out
+        assert "p99" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-serve-bench/v1"
+        assert "IC+" in payload["systems"]

@@ -137,3 +137,123 @@ def test_reset_registry_clears_global():
     get_registry().inc("x")
     reset_registry()
     assert get_registry().snapshot() == {}
+
+
+# -- histogram percentiles (serving-layer SLO math) ---------------------------
+
+
+def test_percentile_empty_histogram_raises():
+    from repro.obs.metrics import HistogramSummary
+
+    with pytest.raises(ValueError):
+        HistogramSummary().percentile(0.5)
+
+
+def test_percentile_rejects_out_of_range_q():
+    from repro.obs.metrics import HistogramSummary
+
+    summary = HistogramSummary()
+    summary.observe(1.0)
+    with pytest.raises(ValueError):
+        summary.percentile(-0.01)
+    with pytest.raises(ValueError):
+        summary.percentile(1.01)
+
+
+def test_percentile_single_sample_is_that_sample():
+    from repro.obs.metrics import HistogramSummary
+
+    summary = HistogramSummary()
+    summary.observe(3.25)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert summary.percentile(q) == 3.25
+
+
+def test_percentile_q0_and_q1_are_min_and_max():
+    from repro.obs.metrics import HistogramSummary
+
+    summary = HistogramSummary()
+    for v in (5.0, 1.0, 9.0, 3.0):
+        summary.observe(v)
+    assert summary.percentile(0.0) == 1.0
+    assert summary.percentile(1.0) == 9.0
+
+
+def test_percentile_linear_interpolation():
+    from repro.obs.metrics import HistogramSummary
+
+    summary = HistogramSummary()
+    for v in (10.0, 20.0, 30.0, 40.0):
+        summary.observe(v)
+    # position = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+    assert summary.percentile(0.5) == pytest.approx(25.0)
+    assert summary.percentile(0.25) == pytest.approx(17.5)
+
+
+def test_percentile_insertion_order_irrelevant():
+    from repro.obs.metrics import HistogramSummary
+
+    a, b = HistogramSummary(), HistogramSummary()
+    for v in (3.0, 1.0, 2.0):
+        a.observe(v)
+    for v in (1.0, 2.0, 3.0):
+        b.observe(v)
+    assert a.percentile(0.75) == b.percentile(0.75)
+
+
+def test_histogram_count_tracks_observations():
+    from repro.obs.metrics import HistogramSummary
+
+    summary = HistogramSummary()
+    assert summary.count == 0
+    summary.observe(1.0)
+    summary.observe(2.0)
+    assert summary.count == 2
+
+
+# -- tenant attribution scopes ------------------------------------------------
+
+
+def test_tenant_labels_empty_outside_scope():
+    from repro.obs.metrics import current_tenant, tenant_labels
+
+    assert tenant_labels() == {}
+    assert current_tenant() is None
+
+
+def test_tenant_scope_attaches_label():
+    from repro.obs.metrics import current_tenant, tenant_labels, tenant_scope
+
+    with tenant_scope("acme"):
+        assert current_tenant() == "acme"
+        assert tenant_labels() == {"tenant": "acme"}
+    assert tenant_labels() == {}
+
+
+def test_tenant_scopes_nest_innermost_wins():
+    from repro.obs.metrics import current_tenant, tenant_scope
+
+    with tenant_scope("outer"):
+        with tenant_scope("inner"):
+            assert current_tenant() == "inner"
+        assert current_tenant() == "outer"
+
+
+def test_tenant_scope_none_is_noop():
+    from repro.obs.metrics import current_tenant, tenant_scope
+
+    with tenant_scope(None):
+        assert current_tenant() is None
+
+
+def test_reset_tenant_scope_clears_stack():
+    from repro.obs.metrics import (
+        current_tenant,
+        reset_tenant_scope,
+        tenant_scope,
+    )
+
+    scope = tenant_scope("stuck")
+    scope.__enter__()
+    reset_tenant_scope()
+    assert current_tenant() is None

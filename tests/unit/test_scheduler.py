@@ -140,3 +140,112 @@ class TestWorkloadSimulator:
         sim = WorkloadSimulator(1, 1)
         sim.submit(TaskGraph(), at=3.0, tag=0)
         assert sim.completion_time(0) == 3.0
+
+
+class TestTagDiagnostics:
+    """Clear errors for unknown/unfinished tags and the queue-wait split."""
+
+    def test_completion_time_unknown_tag(self):
+        sim = WorkloadSimulator(1, 1)
+        with pytest.raises(ExecutionError, match="unknown tag 42"):
+            sim.completion_time(42)
+
+    def test_latency_unknown_tag(self):
+        sim = WorkloadSimulator(1, 1)
+        with pytest.raises(ExecutionError, match="unknown tag 7"):
+            sim.latency(7)
+
+    def test_completion_time_before_run_finishes(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.submit(graph_of((0, RATE, ())), at=0.0, tag=0)
+        with pytest.raises(ExecutionError, match="has not completed"):
+            sim.completion_time(0)
+
+    def test_queue_wait_unknown_tag(self):
+        sim = WorkloadSimulator(1, 1)
+        with pytest.raises(ExecutionError, match="unknown tag 5"):
+            sim.queue_wait(5)
+
+    def test_queue_wait_not_started(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.submit(graph_of((0, RATE, ())), at=3.0, tag=0)
+        with pytest.raises(ExecutionError, match="has not started"):
+            sim.queue_wait(0)
+
+    def test_queue_wait_zero_on_idle_cluster(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.submit(graph_of((0, RATE, ())), at=0.0, tag=0)
+        sim.run()
+        assert sim.queue_wait(0) == 0.0
+
+    def test_queue_wait_measures_core_contention(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.submit(graph_of((0, RATE, ())), at=0.0, tag=0)
+        sim.submit(graph_of((0, RATE, ())), at=0.0, tag=1)
+        sim.run()
+        # One core: the second query waits a full second for the first.
+        assert sim.queue_wait(0) == pytest.approx(0.0)
+        assert sim.queue_wait(1) == pytest.approx(1.0)
+        assert sim.latency(1) == pytest.approx(
+            sim.queue_wait(1) + 1.0
+        )
+
+    def test_queue_wait_of_empty_graph_is_zero(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.submit(TaskGraph(), at=2.0, tag=0)
+        assert sim.queue_wait(0) == 0.0
+
+
+class TestScheduledEvents:
+    def test_event_fires_at_its_time(self):
+        sim = WorkloadSimulator(1, 1)
+        fired = []
+        sim.schedule_event(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_event_may_submit_work(self):
+        sim = WorkloadSimulator(1, 1)
+        sim.schedule_event(
+            2.0, lambda: sim.submit(graph_of((0, RATE, ())), at=2.0, tag=9)
+        )
+        sim.run()
+        assert sim.completion_time(9) == pytest.approx(3.0)
+        assert sim.queue_wait(9) == 0.0
+
+    def test_events_interleave_with_completions_in_time_order(self):
+        sim = WorkloadSimulator(1, 1)
+        order = []
+        sim.on_complete = lambda tag, now: order.append(("done", tag, now))
+        sim.submit(graph_of((0, RATE, ())), at=0.0, tag=0)
+        sim.schedule_event(0.5, lambda: order.append(("event", None, sim.now)))
+        sim.run()
+        assert order == [("event", None, 0.5), ("done", 0, 1.0)]
+
+    def test_negative_event_time_rejected(self):
+        sim = WorkloadSimulator(1, 1)
+        with pytest.raises(ExecutionError):
+            sim.schedule_event(-0.1, lambda: None)
+
+    def test_event_chain(self):
+        sim = WorkloadSimulator(1, 1)
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule_event(3.0, lambda: seen.append(sim.now))
+
+        sim.schedule_event(1.0, first)
+        sim.run()
+        assert seen == [1.0, 3.0]
+
+    def test_idle_jump_does_not_skip_events(self):
+        sim = WorkloadSimulator(1, 1)
+        seen = []
+        # Task released at t=5; an event at t=1 must fire first with the
+        # clock at 1.0, not after a jump to 5.
+        sim.submit(graph_of((0, RATE, ())), at=5.0, tag=0)
+        sim.schedule_event(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.0]
+        assert sim.completion_time(0) == pytest.approx(6.0)

@@ -1,0 +1,209 @@
+"""Unit tests for SLO aggregation and the artefact schema gate."""
+
+import pytest
+
+from repro.core.cluster import QueryStatus
+from repro.serve.server import ServeRecord, ServeResult
+from repro.serve.slo import (
+    GLOBAL_TENANT,
+    SLO_SCHEMA,
+    SloReport,
+    validate_slo_artefact,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _ok(tenant, rid, arrival, latency, queue_wait=0.0, cache_hit=False):
+    return ServeRecord(
+        tenant=tenant,
+        template="q",
+        request_id=rid,
+        status=QueryStatus.OK,
+        arrival=arrival,
+        dispatched=arrival,
+        completed=arrival + latency,
+        latency=latency,
+        queue_wait=queue_wait,
+        execution_seconds=latency - queue_wait,
+        cache_hit=cache_hit,
+    )
+
+
+def _rejected(tenant, rid, arrival, reason="queue_full"):
+    return ServeRecord(
+        tenant=tenant,
+        template="q",
+        request_id=rid,
+        status=QueryStatus.REJECTED,
+        arrival=arrival,
+        completed=arrival,
+        reject_reason=reason,
+    )
+
+
+def _result(records, makespan=10.0):
+    return ServeResult(
+        system="IC+",
+        sites=4,
+        seed=0,
+        policy="fifo",
+        horizon=10.0,
+        makespan=makespan,
+        max_queue_depth=3,
+        records=records,
+    )
+
+
+class TestSloReport:
+    def test_per_tenant_and_global_rows(self):
+        report = SloReport.from_result(
+            _result(
+                [
+                    _ok("a", 1, 0.0, 1.0),
+                    _ok("b", 2, 0.0, 3.0),
+                    _rejected("b", 3, 1.0),
+                ]
+            )
+        )
+        assert [row.tenant for row in report.tenants] == [
+            "a",
+            "b",
+            GLOBAL_TENANT,
+        ]
+        assert report.tenant("a").completed == 1
+        assert report.tenant("b").rejected == 1
+        assert report.overall.offered == 3
+        assert report.overall.completed == 2
+
+    def test_percentiles_and_means(self):
+        records = [
+            _ok("a", i, 0.0, float(i), queue_wait=0.5) for i in range(1, 5)
+        ]
+        report = SloReport.from_result(_result(records))
+        row = report.tenant("a")
+        assert row.p50_seconds == pytest.approx(2.5)
+        assert row.p99_seconds == pytest.approx(3.97)
+        assert row.mean_latency_seconds == pytest.approx(2.5)
+        assert row.mean_queue_wait_seconds == pytest.approx(0.5)
+        assert row.mean_execution_seconds == pytest.approx(2.0)
+
+    def test_throughput_and_rates(self):
+        records = [
+            _ok("a", 1, 0.0, 1.0, cache_hit=True),
+            _ok("a", 2, 0.0, 1.0),
+            _rejected("a", 3, 0.0),
+            _rejected("a", 4, 0.0, reason="shed"),
+        ]
+        report = SloReport.from_result(_result(records, makespan=4.0))
+        row = report.tenant("a")
+        assert row.throughput_qps == pytest.approx(0.5)
+        assert row.rejection_rate == pytest.approx(0.5)
+        assert row.rejected_queue_full == 1
+        assert row.rejected_shed == 1
+        assert row.cache_hit_rate == pytest.approx(0.5)
+
+    def test_failed_and_degraded_counts(self):
+        failed = ServeRecord(
+            tenant="a",
+            template="q",
+            request_id=1,
+            status=QueryStatus.FAILED_SITE,
+            arrival=0.0,
+            dispatched=0.0,
+            completed=1.0,
+        )
+        degraded = _ok("a", 2, 0.0, 1.0)
+        degraded.degraded = True
+        retried = _ok("a", 3, 0.0, 1.0)
+        retried.attempts = 2
+        report = SloReport.from_result(_result([failed, degraded, retried]))
+        row = report.tenant("a")
+        assert row.failed == 1
+        assert row.degraded == 1
+        assert row.retried == 1
+
+    def test_rejected_only_tenant_has_no_percentiles(self):
+        report = SloReport.from_result(_result([_rejected("a", 1, 0.0)]))
+        row = report.tenant("a")
+        assert row.p50_seconds is None
+        assert row.completed == 0
+
+    def test_to_text_contains_all_tenants(self):
+        text = SloReport.from_result(
+            _result([_ok("a", 1, 0.0, 1.0), _ok("b", 2, 0.0, 2.0)])
+        ).to_text()
+        assert "tenant" in text
+        for name in ("a", "b", GLOBAL_TENANT):
+            assert any(
+                line.startswith(name) for line in text.splitlines()
+            ), name
+
+    def test_unknown_tenant_lookup_raises(self):
+        report = SloReport.from_result(_result([_ok("a", 1, 0.0, 1.0)]))
+        with pytest.raises(KeyError):
+            report.tenant("ghost")
+
+
+class TestArtefactValidation:
+    def _valid(self):
+        return SloReport.from_result(
+            _result([_ok("a", 1, 0.0, 1.0), _rejected("b", 2, 0.0)])
+        ).to_dict()
+
+    def test_valid_artefact_passes(self):
+        assert validate_slo_artefact(self._valid()) == []
+
+    def test_schema_tag_present(self):
+        assert self._valid()["schema"] == SLO_SCHEMA
+
+    def test_not_a_dict(self):
+        assert validate_slo_artefact([]) != []
+
+    def test_missing_top_level_key(self):
+        art = self._valid()
+        del art["makespan_seconds"]
+        assert any("makespan_seconds" in p for p in validate_slo_artefact(art))
+
+    def test_wrong_schema_tag(self):
+        art = self._valid()
+        art["schema"] = "repro-serve/v0"
+        assert any("schema" in p for p in validate_slo_artefact(art))
+
+    def test_missing_global_row(self):
+        art = self._valid()
+        art["tenants"] = [
+            row for row in art["tenants"] if row["tenant"] != GLOBAL_TENANT
+        ]
+        assert any("global" in p for p in validate_slo_artefact(art))
+
+    def test_count_consistency_enforced(self):
+        art = self._valid()
+        art["tenants"][0]["completed"] = 999
+        assert any("exceeds offered" in p for p in validate_slo_artefact(art))
+
+    def test_rate_bounds_enforced(self):
+        art = self._valid()
+        art["tenants"][0]["cache_hit_rate"] = 1.5
+        assert any("cache_hit_rate" in p for p in validate_slo_artefact(art))
+
+    def test_percentile_monotonicity_enforced(self):
+        art = self._valid()
+        row = next(r for r in art["tenants"] if r["tenant"] == "a")
+        row["p50_seconds"], row["p99_seconds"] = (
+            row["p99_seconds"] + 1.0,
+            row["p50_seconds"],
+        )
+        assert any("monotone" in p for p in validate_slo_artefact(art))
+
+    def test_partial_percentiles_flagged(self):
+        art = self._valid()
+        row = next(r for r in art["tenants"] if r["tenant"] == "a")
+        row["p95_seconds"] = None
+        assert any("partial" in p for p in validate_slo_artefact(art))
+
+    def test_completed_without_percentiles_flagged(self):
+        art = self._valid()
+        row = next(r for r in art["tenants"] if r["tenant"] == "a")
+        row["p50_seconds"] = row["p95_seconds"] = row["p99_seconds"] = None
+        assert any("no percentiles" in p for p in validate_slo_artefact(art))

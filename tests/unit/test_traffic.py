@@ -1,0 +1,195 @@
+"""Unit tests for the serving-layer traffic generators."""
+
+import random
+
+import pytest
+
+from repro.serve.traffic import (
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    QueryTemplate,
+    TenantSpec,
+    TrafficError,
+    TrafficGenerator,
+    even_template_mix,
+)
+
+pytestmark = pytest.mark.serve
+
+TEMPLATES = (
+    QueryTemplate("a", "SELECT 1", weight=1.0),
+    QueryTemplate("b", "SELECT 2", weight=3.0),
+)
+
+
+def _tenant(name="t0", arrivals=None, **kwargs):
+    return TenantSpec(
+        name=name,
+        templates=TEMPLATES,
+        arrivals=arrivals or PoissonArrivals(rate=2.0),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_template_weight_must_be_positive(self):
+        with pytest.raises(TrafficError):
+            QueryTemplate("bad", "SELECT 1", weight=0.0)
+
+    def test_poisson_rate_must_be_positive(self):
+        with pytest.raises(TrafficError):
+            PoissonArrivals(rate=0.0)
+
+    def test_bursty_rejects_bad_phases(self):
+        with pytest.raises(TrafficError):
+            BurstyArrivals(on_rate=0.0, mean_on_seconds=1, mean_off_seconds=1)
+        with pytest.raises(TrafficError):
+            BurstyArrivals(on_rate=1.0, mean_on_seconds=0, mean_off_seconds=1)
+
+    def test_closed_loop_needs_clients(self):
+        with pytest.raises(TrafficError):
+            ClosedLoopArrivals(clients=0, mean_think_seconds=1.0)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(TrafficError):
+            TenantSpec("t", (), PoissonArrivals(rate=1.0))
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficGenerator([_tenant("x"), _tenant("x")])
+
+
+class TestPoisson:
+    def test_times_below_horizon_and_increasing(self):
+        rng = random.Random(1)
+        times = list(PoissonArrivals(rate=5.0).times(rng, 10.0))
+        assert times
+        assert all(0 < t < 10.0 for t in times)
+        assert times == sorted(times)
+
+    def test_rate_roughly_matches(self):
+        rng = random.Random(2)
+        times = list(PoissonArrivals(rate=10.0).times(rng, 200.0))
+        assert 1500 < len(times) < 2500
+
+
+class TestBursty:
+    def test_silent_off_phases(self):
+        spec = BurstyArrivals(
+            on_rate=50.0, mean_on_seconds=1.0, mean_off_seconds=1.0
+        )
+        rng = random.Random(3)
+        times = list(spec.times(rng, 50.0))
+        assert times == sorted(times)
+        # With off_rate=0 the long-run rate is well below the on-rate.
+        assert 0 < len(times) < 50.0 * 50.0
+
+    def test_off_rate_fills_gaps(self):
+        quiet = BurstyArrivals(
+            on_rate=20.0, mean_on_seconds=1.0, mean_off_seconds=4.0
+        )
+        noisy = BurstyArrivals(
+            on_rate=20.0,
+            mean_on_seconds=1.0,
+            mean_off_seconds=4.0,
+            off_rate=5.0,
+        )
+        n_quiet = len(list(quiet.times(random.Random(4), 100.0)))
+        n_noisy = len(list(noisy.times(random.Random(4), 100.0)))
+        assert n_noisy > n_quiet
+
+
+class TestOpenLoopSchedule:
+    def test_deterministic_per_seed(self):
+        tenants = [_tenant("t0"), _tenant("t1")]
+        a = TrafficGenerator(tenants, seed=7).open_loop_schedule(20.0)
+        b = TrafficGenerator(tenants, seed=7).open_loop_schedule(20.0)
+        assert [(r.tenant, r.arrival, r.sql) for r in a] == [
+            (r.tenant, r.arrival, r.sql) for r in b
+        ]
+
+    def test_different_seed_differs(self):
+        tenants = [_tenant("t0")]
+        a = TrafficGenerator(tenants, seed=7).open_loop_schedule(20.0)
+        b = TrafficGenerator(tenants, seed=8).open_loop_schedule(20.0)
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_adding_tenant_keeps_existing_schedule(self):
+        solo = TrafficGenerator([_tenant("t0")], seed=7).open_loop_schedule(
+            20.0
+        )
+        both = TrafficGenerator(
+            [_tenant("t0"), _tenant("t1")], seed=7
+        ).open_loop_schedule(20.0)
+        assert [r.arrival for r in solo] == [
+            r.arrival for r in both if r.tenant == "t0"
+        ]
+
+    def test_sorted_and_carries_tenant_fields(self):
+        reqs = TrafficGenerator(
+            [_tenant("t0", priority=3, weight=2.0), _tenant("t1")], seed=1
+        ).open_loop_schedule(10.0)
+        assert [r.arrival for r in reqs] == sorted(r.arrival for r in reqs)
+        t0 = [r for r in reqs if r.tenant == "t0"]
+        assert all(r.priority == 3 and r.weight == 2.0 for r in t0)
+        assert len({r.request_id for r in reqs}) == len(reqs)
+
+    def test_weighted_mix_draw(self):
+        reqs = TrafficGenerator(
+            [_tenant("t0", arrivals=PoissonArrivals(rate=50.0))], seed=5
+        ).open_loop_schedule(40.0)
+        by_name = {"a": 0, "b": 0}
+        for r in reqs:
+            by_name[r.template] += 1
+        # b has 3x the weight of a.
+        assert by_name["b"] > by_name["a"]
+
+
+class TestClosedLoop:
+    def test_first_arrivals_one_per_client(self):
+        tenant = _tenant(
+            arrivals=ClosedLoopArrivals(clients=4, mean_think_seconds=2.0)
+        )
+        gen = TrafficGenerator([tenant], seed=3)
+        firsts = gen.first_arrivals(tenant)
+        assert len(firsts) == 4
+        assert {r.client for r in firsts} == {0, 1, 2, 3}
+        assert all(0 <= r.arrival < 2.0 for r in firsts)
+
+    def test_next_think_after_completion(self):
+        tenant = _tenant(
+            arrivals=ClosedLoopArrivals(clients=1, mean_think_seconds=1.0)
+        )
+        gen = TrafficGenerator([tenant], seed=3)
+        nxt = gen.next_think(tenant, client=0, completed_at=5.0)
+        assert nxt.arrival > 5.0
+        assert nxt.client == 0
+
+    def test_open_loop_helpers_reject_closed_mismatch(self):
+        open_tenant = _tenant("open")
+        gen = TrafficGenerator([open_tenant], seed=0)
+        with pytest.raises(TrafficError):
+            gen.first_arrivals(open_tenant)
+        with pytest.raises(TrafficError):
+            gen.next_think(open_tenant, 0, 0.0)
+
+    def test_closed_tenants_excluded_from_open_schedule(self):
+        closed = _tenant(
+            "c", arrivals=ClosedLoopArrivals(clients=2, mean_think_seconds=1)
+        )
+        reqs = TrafficGenerator([closed, _tenant("o")], seed=0)
+        schedule = reqs.open_loop_schedule(10.0)
+        assert all(r.tenant == "o" for r in schedule)
+
+
+class TestEvenTemplateMix:
+    def test_even_mix_and_limit(self):
+        queries = {"Q3": "c", "Q1": "a", "Q2": "b"}
+        mix = even_template_mix(queries)
+        assert [t.name for t in mix] == ["Q1", "Q2", "Q3"]
+        assert all(t.weight == 1.0 for t in mix)
+        assert [t.name for t in even_template_mix(queries, limit=2)] == [
+            "Q1",
+            "Q2",
+        ]
