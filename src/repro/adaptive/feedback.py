@@ -95,7 +95,9 @@ class FeedbackRegistry:
         distribution = getattr(op, "distribution", None)
         if distribution is None or distribution.is_broadcast:
             return False
-        if isinstance(op, PhysSort) and op.fetch is not None:
+        if isinstance(op, PhysSort) and (
+            op.fetch is not None or op.offset is not None
+        ):
             return distribution.is_single
         if isinstance(op, PhysLimit):
             return distribution.is_single

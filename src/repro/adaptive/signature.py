@@ -135,9 +135,12 @@ def _rel_key(node: RelNode, literals: List) -> str:
             f"{_rel_key(node.input, literals)})"
         )
     if isinstance(node, LogicalSort):
-        # FETCH changes plan shape (limit pushdown) — part of the key.
+        # FETCH/OFFSET change plan shape (limit pushdown) — part of the
+        # key.  Offset is appended only when set so offset-free queries
+        # keep their historical cache keys.
+        extra = f", offset={node.offset}" if node.offset is not None else ""
         return (
-            f"sort({list(node.sort_keys)}, fetch={node.fetch}, "
+            f"sort({list(node.sort_keys)}, fetch={node.fetch}{extra}, "
             f"{_rel_key(node.input, literals)})"
         )
     # VALUES rows and any future node kinds stay verbatim: a maximally
@@ -221,7 +224,11 @@ class _OperatorSignatures:
             return None
         if _is_receiver(node):
             return None
-        if isinstance(node, (PhysSort, LogicalSort)) and node.fetch is None:
+        if (
+            isinstance(node, (PhysSort, LogicalSort))
+            and node.fetch is None
+            and node.offset is None
+        ):
             return None
         if isinstance(node, PhysAggregateBase) and node.phase is AggPhase.MAP:
             return None
@@ -232,7 +239,11 @@ class _OperatorSignatures:
         while True:
             if isinstance(node, (PhysExchange, PhysProject, LogicalProject)):
                 node = node.inputs[0]
-            elif isinstance(node, (PhysSort, LogicalSort)) and node.fetch is None:
+            elif (
+                isinstance(node, (PhysSort, LogicalSort))
+                and node.fetch is None
+                and node.offset is None
+            ):
                 node = node.inputs[0]
             elif _is_receiver(node) and self._resolve is not None:
                 source = self._resolve(node.exchange_id)
@@ -264,11 +275,17 @@ class _OperatorSignatures:
             return f"A({list(node.group_keys)}, [{calls}])|{child}"
         if isinstance(node, PhysAggregateBase):
             return self._phys_agg_sig(node)
-        if isinstance(node, (PhysSort, LogicalSort)) and node.fetch is not None:
-            # A sort that survives _peel carries FETCH: limit semantics.
-            return f"L({node.fetch})|{self._node_sig(node.inputs[0])}"
+        if isinstance(node, (PhysSort, LogicalSort)) and (
+            node.fetch is not None or node.offset is not None
+        ):
+            # A sort that survives _peel carries FETCH/OFFSET: limit
+            # semantics.  Offset-free nodes keep the historical L(fetch)
+            # form so existing feedback keys stay valid.
+            extra = f",o{node.offset}" if node.offset is not None else ""
+            return f"L({node.fetch}{extra})|{self._node_sig(node.inputs[0])}"
         if isinstance(node, PhysLimit):
-            return f"L({node.fetch})|{self._node_sig(node.input)}"
+            extra = f",o{node.offset}" if node.offset is not None else ""
+            return f"L({node.fetch}{extra})|{self._node_sig(node.input)}"
         if isinstance(node, (LogicalValues, PhysValues)):
             return f"V({len(node.rows)})"
         # Unknown operator kinds (incl. unresolvable receivers): verbatim

@@ -24,8 +24,12 @@
                           [--queue-depth 0] [--tenant-slots 0]
                           [--shed-wait None] [--limit 4] [--no-plan-cache]
                           [--out slo.json] [--smoke]
+    repro-bench colbench  [--system IC+] [--sf 1] [--sites 4]
+                          [--queries Q1,Q6] [--repeats 3] [--seed 7]
+                          [--out colbench.json] [--smoke]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
-                                   [--explain] [--analyze] [--no-plan-cache]
+                                   [--backend row] [--explain] [--analyze]
+                                   [--no-plan-cache]
     repro-bench trace Q3  [--system IC+M] [--bench tpch] [--sf 0.05]
                           [--sites 4] [--out trace.json] [--chrome chrome.json]
 
@@ -41,6 +45,11 @@ controller and shared scheduler and prints per-tenant SLO tables
 (p50/p95/p99, throughput, rejections, cache hit-rate); ``--smoke`` is the
 tier-1 variant: a tiny deterministic run whose ``repro-serve/v1``
 artefact is schema-validated, exiting non-zero on violation.
+``colbench`` compares interpreter wall-clock between the row and
+columnar execution backends on TPC-H (plans once, warm caches, best of
+``--repeats``), asserting identical results and bit-identical simulated
+makespans; its ``repro-colbench/v1`` artefact is schema-validated and
+``--smoke`` is the tier-1 variant.
 ``adaptive`` repeats a workload slice on a plan-cache +
 cardinality-feedback cluster and reports planning-tick savings, cache
 hits, feedback replans and q-error drift (rows are diffed across repeats
@@ -296,9 +305,53 @@ def cmd_serve(args) -> None:
         print("serve smoke: artefact valid")
 
 
+def cmd_colbench(args) -> None:
+    import json
+
+    from repro.bench.colbench import SMOKE_QUERY_IDS, run_colbench
+
+    if args.smoke:
+        # Tiny deterministic run for CI: few queries, small scale, one
+        # measured repeat — exercises both backends end to end and
+        # validates the artefact (including the differential columns).
+        report = run_colbench(
+            system="IC+", scale_factor=0.05, sites=4, repeats=1,
+            query_ids=SMOKE_QUERY_IDS, seed=args.seed,
+        )
+    else:
+        query_ids = None
+        if args.queries:
+            query_ids = [
+                int(q.strip().upper().lstrip("Q"))
+                for q in args.queries.split(",")
+            ]
+        report = run_colbench(
+            system=args.system,
+            scale_factor=args.sf[0],
+            sites=args.sites[0],
+            repeats=args.repeats,
+            query_ids=query_ids,
+            seed=args.seed,
+        )
+    print(report.to_text())
+    problems = report.validate()
+    if args.out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"colbench artefact written to {args.out}")
+    if problems:
+        print("invalid colbench artefact: " + "; ".join(problems))
+        sys.exit(EXIT_MISMATCH)
+    if args.smoke:
+        print("colbench smoke: artefact valid")
+
+
 def cmd_query(args) -> None:
     loader = load_tpch_cluster if args.bench == "tpch" else load_ssb_cluster
-    config = PRESETS[args.system](args.sites[0])
+    config = PRESETS[args.system](args.sites[0]).with_(
+        execution_backend=args.backend
+    )
     if not args.no_plan_cache:
         # Ad-hoc sessions run with the adaptive layer on; --no-plan-cache
         # pins the stock always-replan behaviour.
@@ -670,10 +723,39 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, default_sf="0.05", default_sites="4")
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser(
+        "colbench",
+        help="row vs columnar backend wall-clock comparison on TPC-H",
+    )
+    p.add_argument("--system", choices=sorted(PRESETS), default="IC+")
+    p.add_argument(
+        "--queries", default=None,
+        help="comma-separated TPC-H query ids (e.g. Q1,Q6); default: all",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="measured executions per backend; the best is kept",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--out", default=None, help="write the colbench JSON artefact here"
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="tiny deterministic CI run; validates the artefact",
+    )
+    common(p, default_sf="1", default_sites="4")
+    p.set_defaults(func=cmd_colbench)
+
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")
     p.add_argument("--system", choices=sorted(PRESETS), default="IC+")
     p.add_argument("--bench", choices=("tpch", "ssb"), default="tpch")
+    p.add_argument(
+        "--backend", choices=("row", "columnar"), default="row",
+        help="execution backend (columnar vectorises the interpreter; "
+        "results and simulated time are identical by construction)",
+    )
     p.add_argument("--explain", action="store_true")
     p.add_argument(
         "--analyze", action="store_true",

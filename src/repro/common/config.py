@@ -19,8 +19,19 @@ Every behavioural difference between the variants is expressed as a flag on
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
+
+
+def _default_backend() -> str:
+    """Default execution backend, overridable per-process.
+
+    ``REPRO_EXECUTION_BACKEND=columnar`` flips every config constructed
+    afterwards (the tier-1 CI job uses it to run the whole unit suite
+    under the vectorized backend without touching call sites).
+    """
+    return os.environ.get("REPRO_EXECUTION_BACKEND", "row")
 
 
 @dataclass(frozen=True)
@@ -156,6 +167,14 @@ class SystemConfig:
     #: many simulated seconds is REJECTED instead of dispatched (None =
     #: never shed).
     serve_shed_wait_seconds: Optional[float] = None
+
+    # ----- execution backend (repro.exec.columnar) --------------------------------
+    #: ``"row"`` interprets fragments tuple-at-a-time (the faithful model
+    #: of Ignite's iterator engine); ``"columnar"`` executes the same
+    #: physical plans over numpy column vectors.  Both charge identical
+    #: work units per operator, so simulated makespans are backend-
+    #: independent — only real wall-clock changes.
+    execution_backend: str = field(default_factory=_default_backend)
 
     # ----- correctness harness ---------------------------------------------------
     #: Run the differential correctness harness (repro.verify) on every

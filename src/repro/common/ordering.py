@@ -1,0 +1,59 @@
+"""The engine's single total order over SQL values.
+
+Sorting, merge joins and sorted index access all need to compare values
+that may include SQL NULL (``None``) or, after outer joins, values of
+mixed Python types.  Python's ``<`` raises ``TypeError`` for both, which
+would abort a query mid-operator, so every ordered code path in the
+engine wraps key components in :class:`NullsLast` instead of comparing
+raw values:
+
+* ``None`` compares *greater* than every value — NULLS LAST under an
+  ascending sort, NULLS FIRST when the order is reversed for DESC.  This
+  is Calcite's nulls-high default collation.
+* Values of incomparable types fall back to ordering by type name, so a
+  mixed-type key column yields a deterministic (if arbitrary) order
+  instead of a ``TypeError``.
+* Equal keys stay stable: the wrapper defines only the ordering, never
+  perturbs sort stability.
+
+The row interpreter (:mod:`repro.exec.operators`), the reference oracle
+(:mod:`repro.verify.reference`), the storage indexes
+(:mod:`repro.storage.table`) and the columnar backend
+(:mod:`repro.exec.columnar`) must all agree on this order — keep it in
+one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class NullsLast:
+    """Wrap one sort-key component in the engine's total order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NullsLast({self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        return self.value == other.value
+
+    def __lt__(self, other) -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False  # NULL is the greatest value (never less).
+        if b is None:
+            return True
+        try:
+            return a < b
+        except TypeError:
+            return type(a).__name__ < type(b).__name__
+
+
+def ordering_key(row: Tuple, positions: Sequence[int]) -> Tuple[NullsLast, ...]:
+    """The total-order sort key for ``row`` over ``positions`` (all ASC)."""
+    return tuple(NullsLast(row[p]) for p in positions)

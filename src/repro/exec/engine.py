@@ -215,6 +215,13 @@ class ExecutionEngine:
                 )
             coordinator = COORDINATOR if COORDINATOR in alive else alive[0]
         ctx = ExecContext(self.store, limit_units, alive_sites=alive)
+        if self.config.execution_backend == "columnar":
+            # Imported lazily: the row backend must work without numpy.
+            from repro.exec.columnar import execute_columnar
+
+            run_fragment = execute_columnar
+        else:
+            run_fragment = execute_node
         result_rows: Optional[List[Tuple]] = None
         fragment_sites: Dict[int, List[int]] = {}
 
@@ -235,7 +242,7 @@ class ExecutionEngine:
                     f"fragment#{fragment.fragment_id}", sites=len(sites)
                 ) as span:
                     for site in sites:
-                        rows = execute_node(fragment.root, site, ctx)
+                        rows = run_fragment(fragment.root, site, ctx)
                         if fragment.is_root:
                             result_rows = rows
                         else:

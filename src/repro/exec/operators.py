@@ -24,6 +24,7 @@ from repro.common.constants import (
     RPTC,
 )
 from repro.common.errors import ExecutionError, ExecutionTimeoutError
+from repro.common.ordering import NullsLast, ordering_key
 from repro.exec.aggregates import AggregateEvaluator
 from repro.exec.fragments import PhysReceiver
 from repro.exec.physical import (
@@ -193,7 +194,7 @@ def _exec_index_scan(node: PhysIndexScan, site: int, ctx: ExecContext) -> Rows:
     key_positions = indexes[0].key_positions if indexes else ()
 
     def sort_key(row: Row):
-        return tuple(row[p] for p in key_positions)
+        return ordering_key(row, key_positions)
 
     if node.is_range_scan:
         streams = [
@@ -224,7 +225,7 @@ def _exec_receiver(node: PhysReceiver, site: int, ctx: ExecContext) -> Rows:
             rows = list(
                 heapq.merge(
                     *streams,
-                    key=lambda row: tuple(row[p] for p in positions),
+                    key=lambda row: ordering_key(row, positions),
                 )
             )
         else:
@@ -324,19 +325,25 @@ def _exec_hash_join(node: PhysHashJoin, site: int, ctx: ExecContext) -> Rows:
         if residual is not None
         else None
     )
-    # Build phase on the right input (Section 5.1.2).
+    # Build phase on the right input (Section 5.1.2).  NULL join keys are
+    # never inserted: SQL ``NULL = NULL`` is not true, so a None key can
+    # match nothing — probes with a None component miss the table outright.
     table: Dict[Tuple, Rows] = {}
     if len(right_keys) == 1:
         rk = right_keys[0]
         for row in right:
-            table.setdefault(row[rk], []).append(row)
+            key = row[rk]
+            if key is not None:
+                table.setdefault(key, []).append(row)
 
         def probe_key(row: Row, lk=left_keys[0]):
             return row[lk]
 
     else:
         for row in right:
-            table.setdefault(tuple(row[k] for k in right_keys), []).append(row)
+            key = tuple(row[k] for k in right_keys)
+            if None not in key:
+                table.setdefault(key, []).append(row)
 
         def probe_key(row: Row, lks=left_keys):
             return tuple(row[k] for k in lks)
@@ -393,8 +400,10 @@ def _exec_merge_join(node: PhysMergeJoin, site: int, ctx: ExecContext) -> Rows:
     def lkey(row: Row):
         return tuple(row[k] for k in left_keys)
 
+    # Ordered comparisons go through the engine's total order (NULLS
+    # LAST, mixed-type safe) so a None key can't raise TypeError.
     def rkey(row: Row):
-        return tuple(row[k] for k in right_keys)
+        return ordering_key(row, right_keys)
 
     out: Rows = []
     join_type = node.join_type
@@ -402,15 +411,21 @@ def _exec_merge_join(node: PhysMergeJoin, site: int, ctx: ExecContext) -> Rows:
     i = j = 0
     n_left, n_right = len(left), len(right)
     while i < n_left:
-        key = lkey(left[i])
+        raw = lkey(left[i])
+        key = tuple(NullsLast(v) for v in raw)
         while j < n_right and rkey(right[j]) < key:
             j += 1
-        block_start = j
-        block_end = j
-        while block_end < n_right and rkey(right[block_end]) == key:
-            block_end += 1
+        if None in raw:
+            # SQL NULL = NULL is not true: a NULL-keyed left row matches
+            # no right block (and NULL-keyed right rows match nothing).
+            block_start = block_end = j
+        else:
+            block_start = j
+            block_end = j
+            while block_end < n_right and rkey(right[block_end]) == key:
+                block_end += 1
         # Process every left row sharing this key against the block.
-        while i < n_left and lkey(left[i]) == key:
+        while i < n_left and lkey(left[i]) == raw:
             left_row = left[i]
             matched = False
             for bi in range(block_start, block_end):
@@ -437,19 +452,42 @@ def _exec_merge_join(node: PhysMergeJoin, site: int, ctx: ExecContext) -> Rows:
 
 
 def sort_rows(rows: Rows, keys: Sequence[Tuple[int, bool]]) -> Rows:
-    """Stable multi-key sort supporting mixed ASC/DESC on any type."""
+    """Stable multi-key sort supporting mixed ASC/DESC on any type.
+
+    Keys compare through the engine's total order: NULLs sort last under
+    ASC (first under DESC) and mixed-type keys cannot raise TypeError.
+    """
     result = list(rows)
     for index, ascending in reversed(list(keys)):
-        result.sort(key=lambda row, i=index: row[i], reverse=not ascending)
+        result.sort(
+            key=lambda row, i=index: NullsLast(row[i]),
+            reverse=not ascending,
+        )
     return result
+
+
+def apply_offset_fetch(
+    rows: Rows, offset: Optional[int], fetch: Optional[int]
+) -> Tuple[Rows, int]:
+    """Slice ``rows`` by OFFSET/FETCH; also return the rows *consumed*.
+
+    The operator walks (and must be charged for) every row up to
+    ``offset + fetch``, including the ones the offset discards — only the
+    tail beyond the fetch boundary goes untouched.
+    """
+    skip = offset or 0
+    if fetch is None:
+        return rows[skip:], len(rows)
+    end = skip + fetch
+    return rows[skip:end], min(len(rows), end)
 
 
 def _exec_sort(node: PhysSort, site: int, ctx: ExecContext) -> Rows:
     rows = execute_node(node.input, site, ctx)
     ctx.note_memory(site, len(rows) * node.width * AFS)
     out = sort_rows(rows, node.keys)
-    if node.fetch is not None:
-        out = out[: node.fetch]
+    if node.fetch is not None or node.offset is not None:
+        out, _ = apply_offset_fetch(out, node.offset, node.fetch)
     import math
 
     n = len(rows)
@@ -459,18 +497,20 @@ def _exec_sort(node: PhysSort, site: int, ctx: ExecContext) -> Rows:
 
 def _exec_limit(node: PhysLimit, site: int, ctx: ExecContext) -> Rows:
     rows = execute_node(node.input, site, ctx)
-    out = rows[: node.fetch]
-    ctx.charge(node, site, len(out) * RPTC)
+    out, consumed = apply_offset_fetch(rows, node.offset, node.fetch)
+    # Charge for every row consumed, not just those emitted: rows skipped
+    # by the offset were still read and counted, and the work units must
+    # agree between the row and columnar backends.
+    ctx.charge(node, site, consumed * RPTC)
     return out
 
 
 # -- aggregates ----------------------------------------------------------------------
 
 
-def _exec_hash_aggregate(
-    node: PhysHashAggregate, site: int, ctx: ExecContext
-) -> Rows:
-    rows = execute_node(node.input, site, ctx)
+def hash_aggregate_rows(node: PhysHashAggregate, rows: Rows) -> Rows:
+    """The hash aggregate's pure row-space evaluation (shared with the
+    columnar backend's fallback path for REDUCE and DISTINCT calls)."""
     evaluator: AggregateEvaluator = _compiled(
         node, "_evaluator", lambda: AggregateEvaluator(node.agg_calls)
     )
@@ -498,16 +538,22 @@ def _exec_hash_aggregate(
         # Scalar aggregate over an empty input still yields one row.
         groups[()] = evaluator.new_group()
     finalize = evaluator.partials if phase is AggPhase.MAP else evaluator.results
-    out = [group_key + finalize(acc) for group_key, acc in groups.items()]
+    return [group_key + finalize(acc) for group_key, acc in groups.items()]
+
+
+def _exec_hash_aggregate(
+    node: PhysHashAggregate, site: int, ctx: ExecContext
+) -> Rows:
+    rows = execute_node(node.input, site, ctx)
+    out = hash_aggregate_rows(node, rows)
     ctx.note_memory(site, len(out) * node.width * AFS)
     ctx.charge(node, site, len(rows) * (RPTC + HAC) + len(out) * RPTC)
     return out
 
 
-def _exec_sort_aggregate(
-    node: PhysSortAggregate, site: int, ctx: ExecContext
-) -> Rows:
-    rows = execute_node(node.input, site, ctx)
+def sort_aggregate_rows(node: PhysSortAggregate, rows: Rows) -> Rows:
+    """The sort aggregate's pure row-space evaluation (shared with the
+    columnar backend's fallback path for DISTINCT calls)."""
     evaluator: AggregateEvaluator = _compiled(
         node, "_evaluator", lambda: AggregateEvaluator(node.agg_calls)
     )
@@ -531,6 +577,14 @@ def _exec_sort_aggregate(
         out.append(current_key + finalize(accumulators))
     elif not keys and phase is not AggPhase.MAP:
         out.append(finalize(evaluator.new_group()))
+    return out
+
+
+def _exec_sort_aggregate(
+    node: PhysSortAggregate, site: int, ctx: ExecContext
+) -> Rows:
+    rows = execute_node(node.input, site, ctx)
+    out = sort_aggregate_rows(node, rows)
     ctx.charge(node, site, len(rows) * (RPTC + RCC) + len(out) * RPTC)
     return out
 

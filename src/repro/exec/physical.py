@@ -379,14 +379,18 @@ class PhysHashJoin(PhysJoinBase):
 
 
 class PhysSort(PhysNode):
-    """Sort (optionally with fetch).  Distribution-preserving: partitions
-    are sorted locally; a merging exchange recombines them in order."""
+    """Sort (optionally with fetch/offset).  Distribution-preserving:
+    partitions are sorted locally; a merging exchange recombines them in
+    order.  ``offset`` is only ever set on a single-distribution sort —
+    distributed plans pre-fetch ``fetch + offset`` rows locally and apply
+    the offset once after the merge."""
 
     def __init__(
         self,
         input_node: PhysNode,
         keys: Sequence[Tuple[int, bool]],
         fetch: Optional[int] = None,
+        offset: Optional[int] = None,
     ):
         super().__init__(
             (input_node,), input_node.fields,
@@ -394,6 +398,7 @@ class PhysSort(PhysNode):
         )
         self.keys = tuple(keys)
         self.fetch = fetch
+        self.offset = offset
 
     @property
     def input(self) -> PhysNode:
@@ -401,24 +406,33 @@ class PhysSort(PhysNode):
 
     def copy(self, inputs: Sequence[RelNode]) -> "PhysSort":
         (child,) = inputs
-        clone = PhysSort(child, self.keys, self.fetch)  # type: ignore[arg-type]
+        clone = PhysSort(  # type: ignore[arg-type]
+            child, self.keys, self.fetch, self.offset
+        )
         clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
         return clone
 
     def digest(self) -> str:
+        extra = f", offset={self.offset}" if self.offset is not None else ""
         return (
-            f"PSort({self.keys}, fetch={self.fetch}, "
+            f"PSort({self.keys}, fetch={self.fetch}{extra}, "
             f"{self.inputs[0].digest()})[{self._traits()}]"
         )
 
 
 class PhysLimit(PhysNode):
-    def __init__(self, input_node: PhysNode, fetch: int):
+    def __init__(
+        self,
+        input_node: PhysNode,
+        fetch: Optional[int],
+        offset: Optional[int] = None,
+    ):
         super().__init__(
             (input_node,), input_node.fields,
             input_node.distribution, input_node.collation,
         )
         self.fetch = fetch
+        self.offset = offset
 
     @property
     def input(self) -> PhysNode:
@@ -426,12 +440,15 @@ class PhysLimit(PhysNode):
 
     def copy(self, inputs: Sequence[RelNode]) -> "PhysLimit":
         (child,) = inputs
-        clone = PhysLimit(child, self.fetch)  # type: ignore[arg-type]
+        clone = PhysLimit(  # type: ignore[arg-type]
+            child, self.fetch, self.offset
+        )
         clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
         return clone
 
     def digest(self) -> str:
-        return f"PLimit({self.fetch}, {self.inputs[0].digest()})"
+        extra = f", offset={self.offset}" if self.offset is not None else ""
+        return f"PLimit({self.fetch}{extra}, {self.inputs[0].digest()})"
 
 
 class AggPhase(enum.Enum):

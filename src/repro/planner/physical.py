@@ -682,35 +682,48 @@ class PhysicalPlanner:
     def _implement_sort(self, node: LogicalSort, req: Requirement) -> PhysNode:
         candidates: List[PhysNode] = []
         collation = Collation(tuple(node.sort_keys))
+        offset = node.offset
+
+        def out_est(rows: float) -> float:
+            if offset is not None:
+                rows = max(0.0, rows - float(offset))
+            if node.fetch is not None:
+                rows = min(rows, float(node.fetch))
+            return rows
 
         # (a) Gather first, sort at one site.
         child_single = self.implement(node.input, Requirement.single())
         if node.sort_keys:
             sorted_single: PhysNode = PhysSort(
-                child_single, node.sort_keys, node.fetch
+                child_single, node.sort_keys, node.fetch, offset
             )
-            sorted_single.rows_est = (
-                min(child_single.rows_est, node.fetch)
-                if node.fetch is not None
-                else child_single.rows_est
-            )
+            sorted_single.rows_est = out_est(child_single.rows_est)
             sorted_single.self_cost = self._cost.sort(
                 child_single.rows_est, node.width, 1.0
             )
-        elif node.fetch is not None:
-            sorted_single = PhysLimit(child_single, node.fetch)
-            sorted_single.rows_est = min(child_single.rows_est, node.fetch)
+        elif node.fetch is not None or offset is not None:
+            sorted_single = PhysLimit(child_single, node.fetch, offset)
+            sorted_single.rows_est = out_est(child_single.rows_est)
             sorted_single.self_cost = self._cost.limit(sorted_single.rows_est)
         else:
             sorted_single = child_single
         candidates.append(self._enforce(sorted_single, req))
 
         # (b) Partially distributed sort: sort each partition locally and
-        # merge the sorted streams through a merging exchange.
+        # merge the sorted streams through a merging exchange.  The offset
+        # cannot be applied per-partition (a global row position is only
+        # known after the merge), so local sorts pre-fetch the first
+        # ``fetch + offset`` rows and one PhysLimit above the merge skips
+        # and truncates on the whole stream.
         if node.sort_keys:
             child_any = self.implement(node.input, Requirement.any())
             if not child_any.distribution.is_single:
-                local_sort = PhysSort(child_any, node.sort_keys, node.fetch)
+                prefetch = (
+                    node.fetch + (offset or 0)
+                    if node.fetch is not None
+                    else None
+                )
+                local_sort = PhysSort(child_any, node.sort_keys, prefetch)
                 local_sort.rows_est = child_any.rows_est
                 local_sort.self_cost = self._cost.sort(
                     child_any.rows_est, node.width,
@@ -725,9 +738,9 @@ class PhysicalPlanner:
                     distribution_factor(local_sort),
                 )
                 result: PhysNode = merge
-                if node.fetch is not None:
-                    limit = PhysLimit(merge, node.fetch)
-                    limit.rows_est = min(merge.rows_est, node.fetch)
+                if node.fetch is not None or offset is not None:
+                    limit = PhysLimit(merge, node.fetch, offset)
+                    limit.rows_est = out_est(merge.rows_est)
                     limit.self_cost = self._cost.limit(limit.rows_est)
                     result = limit
                 candidates.append(self._enforce(result, req))

@@ -289,7 +289,7 @@ class FilterCorrelateRule(Rule):
 
 
 class FilterSortTransposeRule(Rule):
-    """Push a Filter below a Sort without fetch (order is preserved)."""
+    """Push a Filter below a Sort without fetch/offset (order is preserved)."""
 
     name = "FilterSortTranspose"
 
@@ -297,7 +297,11 @@ class FilterSortTransposeRule(Rule):
         if not isinstance(node, LogicalFilter):
             return None
         child = node.input
-        if not isinstance(child, LogicalSort) or child.fetch is not None:
+        if (
+            not isinstance(child, LogicalSort)
+            or child.fetch is not None
+            or child.offset is not None
+        ):
             return None
         return child.copy([LogicalFilter(child.input, node.condition)])
 

@@ -270,17 +270,19 @@ class LogicalAggregate(RelNode):
 
 
 class LogicalSort(RelNode):
-    """ORDER BY with optional LIMIT (``fetch``)."""
+    """ORDER BY with optional LIMIT (``fetch``) and OFFSET (``offset``)."""
 
     def __init__(
         self,
         input_node: RelNode,
         sort_keys: Sequence[Tuple[int, bool]],
         fetch: Optional[int] = None,
+        offset: Optional[int] = None,
     ):
         super().__init__(inputs=(input_node,), fields=input_node.fields)
         self.sort_keys: Tuple[Tuple[int, bool], ...] = tuple(sort_keys)
         self.fetch = fetch
+        self.offset = offset
 
     @property
     def input(self) -> RelNode:
@@ -288,17 +290,22 @@ class LogicalSort(RelNode):
 
     def copy(self, inputs: Sequence[RelNode]) -> "LogicalSort":
         (child,) = inputs
-        return LogicalSort(child, self.sort_keys, self.fetch)
+        return LogicalSort(child, self.sort_keys, self.fetch, self.offset)
 
     def digest(self) -> str:
         keys = [f"{i}{'' if asc else 'd'}" for i, asc in self.sort_keys]
+        # Offset is rare; keep the digest byte-stable for offset-free plans
+        # so plan-cache keys and golden EXPLAIN snapshots do not churn.
+        extra = f", offset={self.offset}" if self.offset is not None else ""
         return (
-            f"Sort(keys={keys}, fetch={self.fetch}, {self.inputs[0].digest()})"
+            f"Sort(keys={keys}, fetch={self.fetch}{extra}, "
+            f"{self.inputs[0].digest()})"
         )
 
     def _explain_self(self) -> str:
         keys = [f"${i}{'' if asc else ' DESC'}" for i, asc in self.sort_keys]
-        return f"LogicalSort(keys={keys}, fetch={self.fetch})"
+        extra = f", offset={self.offset}" if self.offset is not None else ""
+        return f"LogicalSort(keys={keys}, fetch={self.fetch}{extra})"
 
 
 class LogicalValues(RelNode):

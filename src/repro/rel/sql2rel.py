@@ -728,13 +728,14 @@ class SqlToRelConverter:
         output_names: Sequence[str],
         exprs: Optional[Callable[[ast.SqlExpr], Expr]],
     ) -> RelNode:
-        if not select.order_by and select.limit is None:
+        offset = select.offset or None  # normalise OFFSET 0 away
+        if not select.order_by and select.limit is None and offset is None:
             return plan
         keys: List[Tuple[int, bool]] = []
         for order in select.order_by:
             index = self._resolve_order_expr(order.expr, plan, output_names, exprs)
             keys.append((index, order.ascending))
-        return LogicalSort(plan, keys, select.limit)
+        return LogicalSort(plan, keys, select.limit, offset)
 
     def _resolve_order_expr(
         self,

@@ -188,6 +188,7 @@ class Select:
     having: Optional[SqlExpr] = None
     order_by: List[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
+    offset: Optional[int] = None
     distinct: bool = False
 
 

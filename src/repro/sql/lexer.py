@@ -26,7 +26,7 @@ class TokenType(enum.Enum):
 
 KEYWORDS = frozenset(
     """
-    select from where group by having order asc desc limit as and or not
+    select from where group by having order asc desc limit offset as and or not
     in exists between like is null case when then else end join inner left
     outer on distinct count sum avg min max extract year month substring
     for create view true false union all date interval explain analyze

@@ -155,6 +155,13 @@ class _Parser:
                 raise self._error("LIMIT requires an integer")
             limit = token.value
             self._advance()
+        offset = None
+        if self._accept_keyword("offset"):
+            token = self._current
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise self._error("OFFSET requires an integer")
+            offset = token.value
+            self._advance()
         if self._current.is_keyword("union"):
             raise UnsupportedSqlError("UNION is not supported")
         return ast.Select(
@@ -165,6 +172,7 @@ class _Parser:
             having=having,
             order_by=order_by,
             limit=limit,
+            offset=offset,
             distinct=distinct,
         )
 

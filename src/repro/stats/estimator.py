@@ -150,6 +150,8 @@ class Estimator:
             return self.row_count(node.input)
         if isinstance(node, LogicalSort):
             rows = self.row_count(node.input)
+            if node.offset is not None:
+                rows = max(0.0, rows - float(node.offset))
             if node.fetch is not None:
                 rows = min(rows, float(node.fetch))
             return rows

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.catalog.schema import IndexDef, TableSchema
 from repro.catalog.statistics import TableStats, compute_table_stats
 from repro.common.errors import StorageError
+from repro.common.ordering import NullsLast, ordering_key
 
 Row = Tuple
 
@@ -44,33 +45,57 @@ class PartitionIndex:
     def __init__(self, key_positions: Sequence[int], rows: Iterable[Row]):
         self.key_positions = tuple(key_positions)
         first = self.key_positions[0]
+        # Sorted through the engine's total order: NULL keys sort last and
+        # mixed-type keys cannot raise TypeError at index-build time.
         decorated = sorted(
-            rows, key=lambda r: tuple(r[p] for p in self.key_positions)
+            rows, key=lambda r: ordering_key(r, self.key_positions)
         )
         self.rows: List[Row] = decorated
-        self._leading_keys = [row[first] for row in decorated]
+        self._leading_keys = [NullsLast(row[first]) for row in decorated]
+        # First slot whose leading key is NULL: bounded range scans stop
+        # here, because NULL satisfies no range predicate.
+        self._first_null = bisect.bisect_left(
+            self._leading_keys, NullsLast(None)
+        )
 
     def scan(self) -> List[Row]:
         return self.rows
+
+    def range_bounds(
+        self, low: Optional[object] = None, high: Optional[object] = None,
+        low_inclusive: bool = True, high_inclusive: bool = True,
+    ) -> Tuple[int, int]:
+        """The ``[start, end)`` slice of sorted positions whose leading
+        index key lies within [low, high].
+
+        NULL keys sort after every value and never satisfy a range
+        predicate, so any bounded scan excludes the trailing NULL run.
+        The columnar backend slices its cached index batches with these
+        bounds instead of re-batching ``range_scan``'s row lists.
+        """
+        keys = self._leading_keys
+        start = 0
+        end = len(keys)
+        if low is not None or high is not None:
+            end = self._first_null
+        if low is not None:
+            if low_inclusive:
+                start = bisect.bisect_left(keys, NullsLast(low), 0, end)
+            else:
+                start = bisect.bisect_right(keys, NullsLast(low), 0, end)
+        if high is not None:
+            if high_inclusive:
+                end = bisect.bisect_right(keys, NullsLast(high), 0, end)
+            else:
+                end = bisect.bisect_left(keys, NullsLast(high), 0, end)
+        return start, max(start, end)
 
     def range_scan(
         self, low: Optional[object] = None, high: Optional[object] = None,
         low_inclusive: bool = True, high_inclusive: bool = True,
     ) -> List[Row]:
         """Rows whose leading index key lies within [low, high]."""
-        keys = self._leading_keys
-        start = 0
-        end = len(keys)
-        if low is not None:
-            if low_inclusive:
-                start = bisect.bisect_left(keys, low)
-            else:
-                start = bisect.bisect_right(keys, low)
-        if high is not None:
-            if high_inclusive:
-                end = bisect.bisect_right(keys, high)
-            else:
-                end = bisect.bisect_left(keys, high)
+        start, end = self.range_bounds(low, high, low_inclusive, high_inclusive)
         return self.rows[start:end]
 
     def __len__(self) -> int:

@@ -236,6 +236,8 @@ class QueryGenerator:
                 ]
                 sql += " order by " + ", ".join(directions)
                 sql += f" limit {rng.randint(1, 20)}"
+                if rng.random() < 0.3:
+                    sql += f" offset {rng.randint(1, 10)}"
             else:
                 count = rng.randint(1, len(columns))
                 directions = [
@@ -285,6 +287,8 @@ class QueryGenerator:
                 sql += " order by " + ", ".join(directions)
                 if rng.random() < 0.5:
                     sql += f" limit {rng.randint(1, 10)}"
+                    if rng.random() < 0.3:
+                        sql += f" offset {rng.randint(1, 5)}"
         return sql
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ExecutionError
+from repro.common.ordering import NullsLast
 from repro.exec.aggregates import AggregateEvaluator
 from repro.rel.expr import (
     compile_expr,
@@ -263,9 +264,17 @@ class ReferenceExecutor:
 
     def _sort(self, node: LogicalSort) -> Rows:
         rows = list(self._eval(node.input))
-        # Stable multi-key sort: apply the keys in reverse significance.
+        # Stable multi-key sort: apply the keys in reverse significance,
+        # comparing through the engine's single total order (NULLS LAST,
+        # mixed-type safe) so the oracle agrees with the engine on ties
+        # and NULL placement.
         for index, ascending in reversed(node.sort_keys):
-            rows.sort(key=lambda row, i=index: row[i], reverse=not ascending)
+            rows.sort(
+                key=lambda row, i=index: NullsLast(row[i]),
+                reverse=not ascending,
+            )
+        if node.offset is not None:
+            rows = rows[node.offset :]
         if node.fetch is not None:
             rows = rows[: node.fetch]
         return rows

@@ -35,11 +35,36 @@ def pytest_addoption(parser):
         default=False,
         help="rewrite the golden plan snapshots under tests/golden/",
     )
+    parser.addoption(
+        "--backend",
+        choices=("row", "columnar"),
+        default=None,
+        help="run the whole suite under one execution backend "
+        "(sets REPRO_EXECUTION_BACKEND, the SystemConfig default)",
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--backend")
+    if backend is not None:
+        os.environ["REPRO_EXECUTION_BACKEND"] = backend
 
 
 @pytest.fixture
 def snapshot_update(request):
     return request.config.getoption("--snapshot-update")
+
+
+@pytest.fixture(params=["row", "columnar"])
+def execution_backend(request):
+    """Parametrizes a test over both execution backends.
+
+    Tests take this fixture and build their cluster with
+    ``config.with_(execution_backend=execution_backend)``; every
+    assertion then runs against the row interpreter and the vectorized
+    columnar one.
+    """
+    return request.param
 
 
 @pytest.fixture(autouse=True)

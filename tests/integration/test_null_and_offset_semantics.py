@@ -1,0 +1,236 @@
+"""NULL join-key / NULL-ordering / OFFSET regression tests.
+
+These pin the SQL semantics the correctness sweep fixed, on *both*
+execution backends:
+
+* a NULL equi-join key matches nothing — not even another NULL — on
+  either side of INNER and LEFT joins;
+* ORDER BY uses one total order in which NULL sorts after every value
+  (so ASC puts NULLs last, DESC puts them first);
+* GROUP BY treats NULL as a grouping value of its own;
+* OFFSET drops rows after sorting, and the limit operator's work-unit
+  charge covers every row it consumed (offset + fetch), not just the
+  rows it emitted.
+
+The expectations are hardcoded (not oracle-relative) so a backend and
+the reference executor regressing *together* still fails the build.
+"""
+
+import pytest
+
+from helpers import make_company_cluster
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import ColumnType
+from repro.common.config import PRESETS
+from repro.common.constants import RPTC
+from repro.core.cluster import IgniteCalciteCluster
+from repro.exec.physical import PhysLimit, PhysNode
+from repro.verify.differential import differential_check
+
+pytestmark = pytest.mark.columnar
+
+LEFT_ROWS = [
+    (1, 10, "a"),
+    (2, None, "b"),
+    (3, 20, "c"),
+    (4, None, "d"),
+    (5, 30, "e"),
+]
+RIGHT_ROWS = [
+    (1, 10, "r10"),
+    (2, 10, "r10b"),
+    (3, None, "rnull"),
+    (4, 40, "r40"),
+]
+
+
+@pytest.fixture
+def null_cluster(execution_backend):
+    config = PRESETS["IC+"](4).with_(execution_backend=execution_backend)
+    cluster = IgniteCalciteCluster(config)
+    cluster.create_table(
+        TableSchema(
+            "tl",
+            [
+                Column("id", ColumnType.INTEGER),
+                Column("k", ColumnType.INTEGER, nullable=True),
+                Column("v", ColumnType.VARCHAR),
+            ],
+            ["id"],
+        ),
+        LEFT_ROWS,
+    )
+    cluster.create_table(
+        TableSchema(
+            "tr",
+            [
+                Column("id", ColumnType.INTEGER),
+                Column("k", ColumnType.INTEGER, nullable=True),
+                Column("w", ColumnType.VARCHAR),
+            ],
+            ["id"],
+        ),
+        RIGHT_ROWS,
+    )
+    return cluster
+
+
+class TestNullJoinKeys:
+    def test_inner_join_null_keys_match_nothing(self, null_cluster):
+        result = null_cluster.sql(
+            "select tl.id, tr.id from tl join tr on tl.k = tr.k "
+            "order by tl.id, tr.id"
+        )
+        # Only k=10 matches (rows 1 x {1, 2}); the NULLs on either side
+        # and the unmatched 20/30/40 keys produce nothing.
+        assert result.rows == [(1, 1), (1, 2)]
+
+    def test_left_join_pads_null_key_rows(self, null_cluster):
+        result = null_cluster.sql(
+            "select tl.id, tr.w from tl left join tr on tl.k = tr.k "
+            "order by tl.id, tr.w"
+        )
+        assert result.rows == [
+            (1, "r10"),
+            (1, "r10b"),
+            (2, None),
+            (3, None),
+            (4, None),
+            (5, None),
+        ]
+
+    def test_left_join_empty_right_pads_every_row(self, null_cluster):
+        result = null_cluster.sql(
+            "select tl.id, tr.w from tl left join tr on tl.k = tr.k "
+            "and tr.k > 100 order by tl.id"
+        )
+        assert result.rows == [(i, None) for i in range(1, 6)]
+
+    def test_group_by_keeps_null_group(self, null_cluster):
+        result = null_cluster.sql(
+            "select k, count(*) from tl group by k order by k"
+        )
+        # NULL is one group of its own, ordered last (NULLS LAST).
+        assert result.rows == [(10, 1), (20, 1), (30, 1), (None, 2)]
+
+    def test_semi_join_null_keys_match_nothing(self, null_cluster):
+        result = null_cluster.sql(
+            "select tl.id from tl where exists "
+            "(select 1 from tr where tr.k = tl.k) order by tl.id"
+        )
+        # Only the k=10 row survives the SEMI join; NULL keys on either
+        # side never witness the EXISTS.
+        assert result.rows == [(1,)]
+
+    def test_anti_join_keeps_null_key_rows(self, null_cluster):
+        result = null_cluster.sql(
+            "select tl.id from tl where not exists "
+            "(select 1 from tr where tr.k = tl.k) order by tl.id"
+        )
+        # NULL-keyed left rows match nothing, so the ANTI join keeps
+        # them (NOT EXISTS is true), alongside the unmatched 20/30 keys.
+        assert result.rows == [(2,), (3,), (4,), (5,)]
+
+    def test_differential_oracle_agrees(self, null_cluster):
+        for sql in (
+            "select tl.id, tr.id from tl join tr on tl.k = tr.k",
+            "select tl.id, tr.w from tl left join tr on tl.k = tr.k",
+            "select tl.id from tl where exists "
+            "(select 1 from tr where tr.k = tl.k)",
+            "select tl.id from tl where not exists "
+            "(select 1 from tr where tr.k = tl.k)",
+            "select k, count(*) from tl group by k",
+        ):
+            report = differential_check(
+                sql, null_cluster.store, null_cluster.config
+            )
+            assert report.status == "ok", f"{sql}: {report.detail}"
+
+
+class TestNullOrdering:
+    def test_order_by_asc_puts_nulls_last(self, null_cluster):
+        result = null_cluster.sql("select k, id from tl order by k, id")
+        assert result.rows == [
+            (10, 1),
+            (20, 3),
+            (30, 5),
+            (None, 2),
+            (None, 4),
+        ]
+
+    def test_order_by_desc_reverses_the_total_order(self, null_cluster):
+        result = null_cluster.sql("select k, id from tl order by k desc, id")
+        assert result.rows == [
+            (None, 2),
+            (None, 4),
+            (30, 5),
+            (20, 3),
+            (10, 1),
+        ]
+
+
+def _find_limits(plan: PhysNode):
+    found = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, PhysLimit):
+            found.append(node)
+        stack.extend(
+            c for c in node.inputs if isinstance(c, PhysNode)
+        )
+    return found
+
+
+class TestOffset:
+    @pytest.fixture
+    def cluster(self, execution_backend):
+        return make_company_cluster(
+            PRESETS["IC+"](4).with_(execution_backend=execution_backend)
+        )
+
+    def test_offset_after_sort(self, cluster):
+        everything = cluster.sql(
+            "select emp_id from emp order by emp_id"
+        ).rows
+        page = cluster.sql(
+            "select emp_id from emp order by emp_id limit 5 offset 7"
+        ).rows
+        assert page == everything[7:12]
+
+    def test_offset_past_end_is_empty(self, cluster):
+        result = cluster.sql(
+            "select emp_id from emp order by emp_id limit 5 offset 1000"
+        )
+        assert result.rows == []
+
+    def test_limit_charges_for_consumed_rows(self, cluster):
+        plan = cluster.plan_sql("select emp_id from emp limit 5 offset 7")
+        assert _find_limits(plan), "expected a PhysLimit in the plan"
+        result = cluster.execute_plan(plan)
+        assert len(result.rows) == 5
+        # Actuals are keyed by the *fragment* trees' nodes (fragmenting
+        # rewrites exchanges into sender/receiver pairs).
+        limits = [
+            node
+            for fragment in result.fragment_trees
+            for node in _find_limits(fragment.root)
+        ]
+        assert limits, "expected a PhysLimit in the executed fragments"
+        for node in limits:
+            if node.offset is None:
+                continue
+            rows_in = result.operator_rows_in[id(node)]
+            consumed = min(rows_in, (node.offset or 0) + (node.fetch or 0))
+            rows_out, units = result.operator_actuals[id(node)]
+            assert rows_out == len(result.rows)
+            # The seed bug: charging only the emitted rows, letting an
+            # OFFSET page deep into a table for (almost) free.
+            assert units == pytest.approx(consumed * RPTC)
+        # FragmentStats must agree with the per-operator actuals: the
+        # root fragment emits the page, not the consumed prefix.
+        root_id = next(
+            f.fragment_id for f in result.fragment_trees if f.sender is None
+        )
+        root = [f for f in result.fragments if f.fragment_id == root_id]
+        assert root and root[0].rows_out == 5

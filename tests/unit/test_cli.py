@@ -51,6 +51,25 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["query", "select 1", "--system", "XX"])
 
+    def test_query_backend_flag(self):
+        args = build_parser().parse_args(
+            ["query", "select 1", "--backend", "columnar"]
+        )
+        assert args.backend == "columnar"
+        args = build_parser().parse_args(["query", "select 1"])
+        assert args.backend == "row"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "select 1", "--backend", "x"])
+
+    def test_colbench_defaults(self):
+        args = build_parser().parse_args(["colbench"])
+        assert args.sf == (1.0,)
+        assert args.sites == (4,)
+        assert args.repeats == 3
+        assert args.system == "IC+"
+        assert args.queries is None
+        assert args.smoke is False
+
 
 class TestExecution:
     def test_query_command_prints_rows(self, capsys):
@@ -113,6 +132,37 @@ class TestServeCommand:
         assert args.policy == "fifo"
         assert args.arrivals == "poisson"
         assert args.smoke is False
+
+    def test_query_columnar_backend_matches_row(self, capsys):
+        sql = (
+            "select l_returnflag, count(*) from lineitem "
+            "group by l_returnflag order by l_returnflag"
+        )
+        main(["query", sql, "--sf", "0.05"])
+        row_out = capsys.readouterr().out
+        main(["query", sql, "--sf", "0.05", "--backend", "columnar"])
+        col_out = capsys.readouterr().out
+        # Same rows, and — the cost-model contract — the same simulated
+        # milliseconds printed in the footer.
+        assert col_out == row_out
+
+    def test_colbench_gate(self, capsys, tmp_path):
+        """A tiny colbench run: artefact must validate (identical rows,
+        bit-identical makespans across backends) or `main` exits
+        non-zero."""
+        import json
+
+        out_path = tmp_path / "colbench.json"
+        main([
+            "colbench", "--queries", "Q6", "--sf", "0.01",
+            "--repeats", "1", "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert "geomean speedup" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-colbench/v1"
+        assert payload["queries"][0]["query"] == "Q6"
+        assert payload["queries"][0]["results_match"] is True
 
     def test_serve_smoke_gate(self, capsys, tmp_path):
         """The tier-1 gate: a tiny serving run whose SLO artefact must

@@ -1,0 +1,105 @@
+"""Tests for the row-vs-columnar microbenchmark and its artefact gate."""
+
+import pytest
+
+from repro.bench.colbench import (
+    COLBENCH_SCHEMA,
+    run_colbench,
+    validate_colbench_artefact,
+)
+
+pytestmark = pytest.mark.columnar
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Tiny but real: both backends execute Q1 and Q6 end to end.
+    return run_colbench(
+        system="IC+", scale_factor=0.01, sites=4, repeats=1,
+        query_ids=(1, 6),
+    )
+
+
+class TestRunColbench:
+    def test_artefact_is_valid(self, report):
+        assert report.validate() == []
+
+    def test_backends_agreed(self, report):
+        assert [q.query for q in report.queries] == ["Q1", "Q6"]
+        assert not report.skipped
+        for q in report.queries:
+            assert q.results_match and q.makespans_match
+            assert q.row_seconds > 0 and q.columnar_seconds > 0
+
+    def test_geomean_and_text(self, report):
+        assert report.geomean_speedup is not None
+        text = report.to_text()
+        assert "geomean speedup" in text
+        assert "Q1" in text and "Q6" in text
+
+    def test_dict_round_trip(self, report):
+        obj = report.to_dict()
+        assert obj["schema"] == COLBENCH_SCHEMA
+        assert obj["scale_factor"] == 0.01
+        assert len(obj["queries"]) == 2
+
+
+class TestValidator:
+    def _valid(self):
+        return {
+            "schema": COLBENCH_SCHEMA,
+            "system": "IC+",
+            "sites": 4,
+            "scale_factor": 1.0,
+            "repeats": 3,
+            "geomean_speedup": 3.0,
+            "queries": [
+                {
+                    "query": "Q1",
+                    "rows": 4,
+                    "row_seconds": 0.5,
+                    "columnar_seconds": 0.05,
+                    "speedup": 10.0,
+                    "simulated_seconds": 0.2,
+                    "results_match": True,
+                    "makespans_match": True,
+                }
+            ],
+            "skipped": {},
+        }
+
+    def test_accepts_valid(self):
+        assert validate_colbench_artefact(self._valid()) == []
+
+    def test_rejects_missing_top_key(self):
+        obj = self._valid()
+        del obj["geomean_speedup"]
+        assert any("geomean_speedup" in p for p in validate_colbench_artefact(obj))
+
+    def test_rejects_wrong_schema(self):
+        obj = self._valid()
+        obj["schema"] = "repro-colbench/v0"
+        assert validate_colbench_artefact(obj)
+
+    def test_rejects_result_mismatch(self):
+        obj = self._valid()
+        obj["queries"][0]["results_match"] = False
+        assert any("differ" in p for p in validate_colbench_artefact(obj))
+
+    def test_rejects_makespan_mismatch(self):
+        obj = self._valid()
+        obj["queries"][0]["makespans_match"] = False
+        assert any("makespan" in p for p in validate_colbench_artefact(obj))
+
+    def test_rejects_empty_queries(self):
+        obj = self._valid()
+        obj["queries"] = []
+        assert any("non-empty" in p for p in validate_colbench_artefact(obj))
+
+    def test_rejects_missing_row_key(self):
+        obj = self._valid()
+        del obj["queries"][0]["speedup"]
+        assert any("speedup" in p for p in validate_colbench_artefact(obj))
+
+    def test_rejects_non_dict(self):
+        assert validate_colbench_artefact([]) != []

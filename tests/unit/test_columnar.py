@@ -1,0 +1,238 @@
+"""Unit tests for the vectorized columnar backend's building blocks.
+
+Every claim here is of the same shape: the columnar kernel must agree
+*exactly* — values, Python types, NULL placement, row order — with the
+row-path code it replaces (``compile_expr``, ``sort_rows``, the LIKE
+matcher).  Bit-identity is the backend's core contract; "close enough"
+floats or ints silently widened to floats are bugs.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exec.columnar import (
+    ColumnBatch,
+    column_from_values,
+    concat_batches,
+    concat_columns,
+    eval_expr,
+    from_rows,
+    sort_batch,
+)
+from repro.exec.operators import sort_rows
+from repro.rel.expr import (
+    BinaryOp,
+    CaseExpr,
+    ColRef,
+    FuncCall,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    UnaryOp,
+    compile_expr,
+)
+
+pytestmark = pytest.mark.columnar
+
+
+class TestColumnFromValues:
+    def test_kinds(self):
+        assert column_from_values([1, 2, 3]).kind == "i"
+        assert column_from_values([1.5, 2.0]).kind == "f"
+        assert column_from_values(["a", "bc"]).kind == "U"
+        assert column_from_values([True, False]).kind == "b"
+        assert column_from_values([1, "a"]).kind == "O"
+        # int-vs-float is a *type* distinction SQL results preserve.
+        assert column_from_values([1, 2.0]).kind == "O"
+
+    def test_nulls_get_a_mask(self):
+        col = column_from_values([1, None, 3])
+        assert col.kind == "i"
+        assert col.mask is not None and col.mask.tolist() == [False, True, False]
+        assert col.to_list() == [1, None, 3]
+
+    def test_all_null_column_is_object(self):
+        col = column_from_values([None, None])
+        assert col.to_list() == [None, None]
+
+    def test_wide_strings_demote_to_object(self):
+        wide = "x" * 64
+        col = column_from_values(["a", wide])
+        assert col.kind == "O"
+        assert col.to_list() == ["a", wide]
+
+    def test_huge_int_falls_back_to_object(self):
+        big = 2**70
+        col = column_from_values([1, big])
+        assert col.kind == "O"
+        assert col.to_list() == [1, big]
+
+
+class TestBatchRoundTrip:
+    def test_to_rows_preserves_types_exactly(self):
+        rows = [
+            (1, 1.5, "a", True, None),
+            (2, -0.0, "bb", False, "x"),
+            (None, None, None, None, None),
+        ]
+        out = from_rows(rows, 5).to_rows()
+        assert out == rows
+        for got, want in zip(out, rows):
+            assert [type(v) for v in got] == [type(v) for v in want]
+
+    def test_zero_width_rows(self):
+        rows = [(), (), ()]
+        assert from_rows(rows, 0).to_rows() == rows
+
+    def test_concat_mixed_kind_columns_keeps_ints_ints(self):
+        # One part inferred int64, the other float64: naive
+        # np.concatenate would rewrite 1 -> 1.0.
+        a = column_from_values([1, 2])
+        b = column_from_values([1.5, None])
+        merged = concat_columns([a, b])
+        assert merged.to_list() == [1, 2, 1.5, None]
+        assert [type(v) for v in merged.to_list()[:3]] == [int, int, float]
+
+    def test_concat_batches_matches_from_rows(self):
+        rows1 = [(1, "a"), (2, None)]
+        rows2 = [(3.5, "b" * 50)]
+        merged = concat_batches([from_rows(rows1, 2), from_rows(rows2, 2)], 2)
+        assert merged.to_rows() == from_rows(rows1 + rows2, 2).to_rows()
+
+
+def _assert_matches_row_path(expr, rows, width):
+    batch = from_rows(rows, width)
+    got = eval_expr(expr, batch).to_list()
+    fn = compile_expr(expr)
+    want = [fn(row) for row in rows]
+    assert got == want, f"{expr.digest()}: {got} != {want}"
+    for g, w in zip(got, want):
+        assert type(g) is type(w), f"{expr.digest()}: {type(g)} vs {type(w)}"
+
+
+class TestEvalExpr:
+    ROWS = [
+        (1, 2.5, "apple", None, True),
+        (2, None, "banana", 7, False),
+        (None, -1.0, None, 0, None),
+        (4, 0.0, "cherry pie", -3, True),
+    ]
+
+    def check(self, expr):
+        _assert_matches_row_path(expr, self.ROWS, 5)
+
+    def test_arithmetic_and_comparisons(self):
+        c0, c1 = ColRef(0), ColRef(1)
+        for op in ("+", "-", "*", "<", "<=", ">", ">=", "=", "<>"):
+            self.check(BinaryOp(op, c0, Literal(2)))
+            self.check(BinaryOp(op, c1, c0))
+
+    def test_division_short_circuits_like_rows(self):
+        # x = 0 OR 1 / x > 0 must not raise on the x = 0 row.
+        c3 = ColRef(3)
+        self.check(
+            BinaryOp(
+                "OR",
+                BinaryOp("=", c3, Literal(0)),
+                BinaryOp(">", BinaryOp("/", Literal(1), c3), Literal(0)),
+            )
+        )
+
+    def test_and_or_null_semantics(self):
+        c4, c0 = ColRef(4), ColRef(0)
+        gt = BinaryOp(">", c0, Literal(1))
+        self.check(BinaryOp("AND", c4, gt))
+        self.check(BinaryOp("OR", c4, gt))
+
+    def test_is_null_and_not(self):
+        self.check(IsNull(ColRef(1)))
+        self.check(IsNull(ColRef(1), negated=True))
+        self.check(UnaryOp("NOT", ColRef(4)))
+
+    def test_in_list(self):
+        self.check(InList(ColRef(0), (1, 4)))
+        self.check(InList(ColRef(2), ("apple", "kiwi"), negated=True))
+
+    def test_case(self):
+        expr = CaseExpr(
+            [(BinaryOp(">", ColRef(0), Literal(1)), Literal("big"))],
+            Literal("small"),
+        )
+        self.check(expr)
+
+    def test_functions(self):
+        rows = [("1995-03-17",), ("2024-12-01",), (None,)]
+        for fname in ("EXTRACT_YEAR", "EXTRACT_MONTH"):
+            _assert_matches_row_path(FuncCall(fname, (ColRef(0),)), rows, 1)
+        self.check(FuncCall("ABS", (ColRef(1),)))
+        self.check(FuncCall("UPPER", (ColRef(2),)))
+
+
+class TestVectorizedLike:
+    PATTERNS = [
+        "%", "a%", "%e", "%an%", "a%e", "%a%n%", "apple", "", "%%",
+        "_pple", "a__le", "%p_e",
+    ]
+
+    def test_like_fuzz_matches_row_matcher(self):
+        rng = random.Random(42)
+        alphabet = "abcnple "
+        for trial in range(200):
+            pattern = rng.choice(self.PATTERNS)
+            values = [
+                None
+                if rng.random() < 0.15
+                else "".join(
+                    rng.choice(alphabet) for _ in range(rng.randrange(0, 12))
+                )
+                for _ in range(rng.randrange(1, 9))
+            ]
+            # Exercise both the fixed-width and the demoted object path.
+            if trial % 2:
+                values = [
+                    v + "x" * 40 if v is not None and trial % 4 == 1 else v
+                    for v in values
+                ]
+            rows = [(v,) for v in values]
+            expr = LikeExpr(ColRef(0), pattern, negated=bool(trial % 3 == 0))
+            _assert_matches_row_path(expr, rows, 1)
+
+
+class TestSortBatch:
+    def test_matches_sort_rows_with_nulls_and_desc(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            rows = [
+                (
+                    rng.choice([None, 1, 2, 3]),
+                    rng.choice([None, "a", "b"]),
+                    rng.random(),
+                )
+                for _ in range(rng.randrange(0, 20))
+            ]
+            keys = [
+                (rng.randrange(3), rng.random() < 0.5)
+                for _ in range(rng.randrange(1, 3))
+            ]
+            got = sort_batch(from_rows(rows, 3), keys).to_rows()
+            assert got == sort_rows(rows, keys)
+
+    def test_stability(self):
+        rows = [(1, i) for i in range(10)] + [(0, i) for i in range(10)]
+        got = sort_batch(from_rows(rows, 2), [(0, True)]).to_rows()
+        assert got == sort_rows(rows, [(0, True)])
+        assert [r[1] for r in got[:10]] == list(range(10))
+
+
+class TestBatchErrors:
+    def test_unmaterialised_column_raises(self):
+        from repro.common.errors import ExecutionError
+
+        batch = ColumnBatch([None, column_from_values([1])], 1)
+        with pytest.raises(ExecutionError):
+            batch.column(0)
+        with pytest.raises(ExecutionError):
+            batch.to_rows()
