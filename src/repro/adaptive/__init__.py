@@ -30,6 +30,7 @@ in this package runs.
 from repro.adaptive.cache import CacheEntry, PlanCache
 from repro.adaptive.controller import AdaptiveController, reset_adaptive_state
 from repro.adaptive.feedback import FeedbackRegistry
+from repro.adaptive.midquery import MidQueryController, reset_midquery_state
 from repro.adaptive.signature import (
     PlanSignature,
     operator_signature,
@@ -40,9 +41,11 @@ __all__ = [
     "AdaptiveController",
     "CacheEntry",
     "FeedbackRegistry",
+    "MidQueryController",
     "PlanCache",
     "PlanSignature",
     "operator_signature",
     "plan_signature",
     "reset_adaptive_state",
+    "reset_midquery_state",
 ]

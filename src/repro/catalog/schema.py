@@ -145,6 +145,13 @@ class Catalog:
         self.tables[schema.name] = schema
         return schema
 
+    def unregister(self, name: str) -> None:
+        """Drop one table's schema (DROP TABLE / temp-table cleanup)."""
+        try:
+            del self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name}") from None
+
     def table(self, name: str) -> TableSchema:
         try:
             return self.tables[name.lower()]

@@ -27,6 +27,9 @@
     repro-bench colbench  [--system IC+] [--sf 1] [--sites 4]
                           [--queries Q1,Q6] [--repeats 3] [--seed 7]
                           [--out colbench.json] [--smoke]
+    repro-bench midquery  [--systems IC,IC+,IC+M] [--sf 1] [--sites 4]
+                          [--queries MQ1,MQ3] [--seed 7] [--threshold 4.0]
+                          [--out midquery.json] [--smoke]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
                                    [--backend row] [--explain] [--analyze]
                                    [--no-plan-cache]
@@ -50,6 +53,12 @@ columnar execution backends on TPC-H (plans once, warm caches, best of
 ``--repeats``), asserting identical results and bit-identical simulated
 makespans; its ``repro-colbench/v1`` artefact is schema-validated and
 ``--smoke`` is the tier-1 variant.
+``midquery`` runs a seeded skew-heavy workload twice per system — once
+statically, once with mid-query re-optimization at pipeline breakers —
+and reports both makespans (the adaptive one includes the charged
+re-planning cost), replan/plan-switch counts and the order-sensitive
+differential columns; its ``repro-midquery/v1`` artefact is
+schema-validated and ``--smoke`` is the tier-1 variant.
 ``adaptive`` repeats a workload slice on a plan-cache +
 cardinality-feedback cluster and reports planning-tick savings, cache
 hits, feedback replans and q-error drift (rows are diffed across repeats
@@ -345,6 +354,46 @@ def cmd_colbench(args) -> None:
         sys.exit(EXIT_MISMATCH)
     if args.smoke:
         print("colbench smoke: artefact valid")
+
+
+def cmd_midquery(args) -> None:
+    import json
+
+    from repro.bench.midquery import SMOKE_QUERY_IDS, run_midquery_bench
+
+    if args.smoke:
+        # Tiny deterministic run for CI: one system, small scale, the two
+        # queries known to re-plan — exercises capture -> trigger ->
+        # suffix re-entry -> splice end to end and validates the artefact
+        # (including the order-sensitive differential columns).
+        report = run_midquery_bench(
+            systems=("IC+",), scale_factor=0.5, sites=4, seed=args.seed,
+            threshold=args.threshold, query_ids=SMOKE_QUERY_IDS,
+        )
+    else:
+        query_ids = None
+        if args.queries:
+            query_ids = [q.strip().upper() for q in args.queries.split(",")]
+        report = run_midquery_bench(
+            systems=[s.strip() for s in args.systems.split(",")],
+            scale_factor=args.sf[0],
+            sites=args.sites[0],
+            seed=args.seed,
+            threshold=args.threshold,
+            query_ids=query_ids,
+        )
+    print(report.to_text())
+    problems = report.validate()
+    if args.out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"midquery artefact written to {args.out}")
+    if problems:
+        print("invalid midquery artefact: " + "; ".join(problems))
+        sys.exit(EXIT_MISMATCH)
+    if args.smoke:
+        print("midquery smoke: artefact valid")
 
 
 def cmd_query(args) -> None:
@@ -746,6 +795,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p, default_sf="1", default_sites="4")
     p.set_defaults(func=cmd_colbench)
+
+    p = sub.add_parser(
+        "midquery",
+        help="static vs mid-query-re-optimized makespans under skew",
+    )
+    p.add_argument("--systems", default="IC,IC+,IC+M")
+    p.add_argument(
+        "--queries", default=None,
+        help="comma-separated query ids (e.g. MQ1,MQ3); default: all",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--threshold", type=float, default=4.0,
+        help="observed q-error above which the plan suffix is re-planned",
+    )
+    p.add_argument(
+        "--out", default=None, help="write the midquery JSON artefact here"
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="tiny deterministic CI run; validates the artefact",
+    )
+    common(p, default_sf="1", default_sites="4")
+    p.set_defaults(func=cmd_midquery)
 
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")

@@ -147,6 +147,25 @@ class SystemConfig:
     #: (requires both ``plan_cache`` and ``cardinality_feedback``).
     replan_q_error_threshold: float = 8.0
 
+    # ----- mid-query re-optimization (repro.adaptive.midquery) ----------------------
+    #: Re-optimize *within* a query at pipeline breakers: after each
+    #: non-root fragment materializes (hash-join build sides, aggregation
+    #: and sort fragments, exchange sends), the engine compares the true
+    #: cardinality against the planner's estimate; past the q-error
+    #: threshold below, the un-executed plan suffix is re-entered through
+    #: Volcano with the materialized intermediate installed as a new leaf
+    #: table carrying exact statistics, and the new physical suffix is
+    #: spliced into the fragment/task graph.  Off by default: with the
+    #: flag off, plans, makespans and traces are byte-identical to the
+    #: static path.  Fault-injected runs always execute statically.
+    midquery_reoptimization: bool = False
+    #: Observed q-error (``max(est/actual, actual/est)``) at a
+    #: materialization point above which the suffix is re-planned.
+    midquery_replan_q_error_threshold: float = 8.0
+    #: Suffix re-plans allowed per query (re-planning is charged to the
+    #: makespan, so unbounded replanning could thrash).
+    midquery_max_replans: int = 2
+
     # ----- multi-tenant serving (repro.serve) --------------------------------------
     #: Run-queue ordering for the serving layer's admission controller:
     #: ``fifo`` (arrival order), ``priority`` (higher tenant priority

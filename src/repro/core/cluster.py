@@ -38,6 +38,7 @@ from repro.faults.injector import FaultInjector
 from repro.catalog.schema import TableSchema
 from repro.exec.engine import ExecutionEngine, ExecutionResult
 from repro.exec.physical import PhysNode
+from repro.obs.metrics import get_registry
 from repro.obs.trace import NULL_TRACER, Tracer, activate, get_tracer
 from repro.planner.volcano import QueryPlanner
 from repro.rel.logical import RelNode
@@ -267,6 +268,30 @@ class IgniteCalciteCluster:
             return
         self.adaptive.observe(plan._adaptive_key, result)
 
+    def _harvest_partial(self) -> None:
+        """Feed actuals from a *failed* execution to cardinality feedback.
+
+        The fragments completed before the failure (or before a deadline /
+        shed verdict) carry true cardinalities — exactly the evidence the
+        next planning of the same query needs to avoid failing the same
+        way.  Traced runs skip this like every other adaptive path; a
+        fault-injected failure may harvest (planning under an injector
+        never consults feedback, so chaos replays stay deterministic, and
+        later fault-free queries still benefit).
+        """
+        if (
+            self.adaptive is None
+            or self.adaptive.feedback is None
+            or self.config.tracing
+        ):
+            return
+        partial = self._engine.last_partial
+        if partial is None:
+            return
+        recorded = self.adaptive.feedback.harvest(partial)
+        if recorded:
+            get_registry().inc("adaptive.feedback_partial_harvests")
+
     def _run_explain(
         self, statement: ast_module.Explain, at: float = 0.0
     ) -> ExecutionResult:
@@ -326,7 +351,11 @@ class IgniteCalciteCluster:
                 # Skipped (e.g. planning budget): fall through so the caller
                 # sees the same exception an unverified run would raise.
             plan = self._plan_select(statement)
-            result = self.execute_plan(plan)
+            try:
+                result = self.execute_plan(plan)
+            except (FaultError, ExecutionTimeoutError):
+                self._harvest_partial()
+                raise
             self._observe_adaptive(plan, result)
             return result
 
@@ -376,8 +405,10 @@ class IgniteCalciteCluster:
             try:
                 result = self.execute_plan(plan, at=at)
             except FaultError as exc:
+                self._harvest_partial()
                 return QueryOutcome(QueryStatus.FAILED_SITE, error=exc)
             except ExecutionTimeoutError as exc:
+                self._harvest_partial()
                 return QueryOutcome(QueryStatus.TIMED_OUT, error=exc)
             self._observe_adaptive(plan, result)
             if result.degraded:

@@ -117,13 +117,16 @@ class ExecutionResult:
         lines: List[str] = []
         for fragment in self.fragment_trees:
             if fragment.is_root:
-                lines.append("RootFragment")
+                head = "RootFragment"
             else:
                 sender = fragment.sender
-                lines.append(
+                head = (
                     f"Fragment #{fragment.fragment_id} -> "
                     f"sender({sender.target})"
                 )
+            if fragment.replanned:
+                head += "  [midquery replanned]"
+            lines.append(head)
             lines.extend(self._annotate(fragment.root, indent=1))
         return "\n".join(lines)
 
@@ -162,12 +165,29 @@ class ExecutionResult:
         return worst
 
 
+@dataclass
+class PartialExecution:
+    """What a *failed* (or shed) execution still learned.
+
+    Carries just the fields :meth:`FeedbackRegistry.harvest` reads, so
+    true cardinalities observed at materialization points before the
+    failure still feed adaptive re-planning — a query that times out on a
+    bad plan is precisely the one whose actuals matter most.
+    """
+
+    fragment_trees: List[Fragment]
+    operator_actuals: Dict[int, Tuple[int, float]]
+
+
 class ExecutionEngine:
     """Executes physical plans for one cluster configuration."""
 
     def __init__(self, store: DataStore, config: SystemConfig):
         self.store = store
         self.config = config
+        #: Actuals from the completed fragments of the most recent
+        #: execution that *raised*; None after a successful one.
+        self.last_partial: Optional[PartialExecution] = None
 
     # -- public API ------------------------------------------------------------
 
@@ -222,37 +242,74 @@ class ExecutionEngine:
             run_fragment = execute_columnar
         else:
             run_fragment = execute_node
+        self.last_partial = None
+        midquery = None
+        if self.config.midquery_reoptimization and injector is None:
+            # Imported lazily: repro.adaptive imports the planner, which
+            # imports this module.  Fault-injected runs stay static so
+            # chaos replays remain deterministic.
+            from repro.adaptive.midquery import MidQueryController
+
+            midquery = MidQueryController(self.store, self.config)
         result_rows: Optional[List[Tuple]] = None
         fragment_sites: Dict[int, List[int]] = {}
+        completed: List[Fragment] = []
 
-        with tracer.span("execute"):
-            for fragment in fragments:
-                if injector is not None and injector.take_fragment_oom(
-                    fragment.fragment_id, at
-                ):
-                    raise FragmentOomError(
-                        f"fragment #{fragment.fragment_id} was OOM-killed",
-                        fragment_id=fragment.fragment_id,
-                    )
-                sites = self._fragment_sites(fragment, alive, coordinator)
-                fragment_sites[fragment.fragment_id] = sites
-                ctx.current_fragment = fragment.fragment_id
-                units_before = ctx.total_units
-                with tracer.span(
-                    f"fragment#{fragment.fragment_id}", sites=len(sites)
-                ) as span:
-                    for site in sites:
-                        rows = run_fragment(fragment.root, site, ctx)
-                        if fragment.is_root:
-                            result_rows = rows
-                        else:
-                            self._route(
-                                fragment, site, rows, ctx, coordinator,
-                                injector, at,
-                            )
-                    tracer.advance(ctx.total_units - units_before)
-                    span.attrs["units"] = ctx.total_units - units_before
-            ctx.current_fragment = None
+        try:
+            with tracer.span("execute"):
+                index = 0
+                while index < len(fragments):
+                    fragment = fragments[index]
+                    if injector is not None and injector.take_fragment_oom(
+                        fragment.fragment_id, at
+                    ):
+                        raise FragmentOomError(
+                            f"fragment #{fragment.fragment_id} was OOM-killed",
+                            fragment_id=fragment.fragment_id,
+                        )
+                    sites = self._fragment_sites(fragment, alive, coordinator)
+                    fragment_sites[fragment.fragment_id] = sites
+                    ctx.current_fragment = fragment.fragment_id
+                    units_before = ctx.total_units
+                    with tracer.span(
+                        f"fragment#{fragment.fragment_id}", sites=len(sites)
+                    ) as span:
+                        for site in sites:
+                            rows = run_fragment(fragment.root, site, ctx)
+                            if fragment.is_root:
+                                result_rows = rows
+                            else:
+                                if midquery is not None:
+                                    midquery.capture(fragment, site, rows)
+                                self._route(
+                                    fragment, site, rows, ctx, coordinator,
+                                    injector, at,
+                                )
+                        tracer.advance(ctx.total_units - units_before)
+                        span.attrs["units"] = ctx.total_units - units_before
+                    completed.append(fragment)
+                    # A completed non-root fragment is a materialization
+                    # point: its true cardinality is known before any
+                    # consumer runs.  Past the q-error threshold the
+                    # controller re-plans the un-executed suffix and we
+                    # splice the new fragments in.
+                    if midquery is not None and not fragment.is_root:
+                        new_suffix = midquery.checkpoint(
+                            fragments, index, ctx, coordinator
+                        )
+                        if new_suffix is not None:
+                            fragments[index + 1:] = new_suffix
+                    index += 1
+                ctx.current_fragment = None
+        except Exception:
+            if completed:
+                self.last_partial = self._partial_execution(
+                    completed, fragment_sites, ctx
+                )
+            raise
+        finally:
+            if midquery is not None:
+                midquery.drop_temp_tables()
 
         assert result_rows is not None
         graph, stats = self._build_task_graph(
@@ -275,6 +332,11 @@ class ExecutionEngine:
             )
         deadline = self.config.query_deadline_seconds
         if deadline is not None and makespan > deadline:
+            # The work is done and every actual is known — feed them to
+            # adaptive re-planning even though the query misses its SLO.
+            self.last_partial = self._partial_execution(
+                completed, fragment_sites, ctx
+            )
             raise QueryDeadlineError(
                 f"query ran {makespan:.3f}s simulated, past its "
                 f"{deadline:.3f}s deadline",
@@ -342,6 +404,28 @@ class ExecutionEngine:
 
             check_execution_result(result)
         return result
+
+    def _partial_execution(
+        self,
+        completed: Sequence[Fragment],
+        fragment_sites: Dict[int, List[int]],
+        ctx: ExecContext,
+    ) -> PartialExecution:
+        """Per-operator actuals over the fragments that did finish."""
+        actuals: Dict[int, Tuple[int, float]] = {}
+        for fragment in completed:
+            sites = fragment_sites.get(fragment.fragment_id, [])
+            for op in fragment.operators():
+                rows = sum(
+                    ctx.op_rows.get((id(op), site), 0) for site in sites
+                )
+                units = sum(
+                    ctx.op_units.get((id(op), site), 0.0) for site in sites
+                )
+                actuals[id(op)] = (rows, units)
+        return PartialExecution(
+            fragment_trees=list(completed), operator_actuals=actuals
+        )
 
     # -- fragment placement ---------------------------------------------------------
 

@@ -66,6 +66,9 @@ class Fragment:
     root: PhysNode
     sender: Optional[SenderSpec]  # None for the root fragment
     child_ids: List[int] = field(default_factory=list)
+    #: True for fragments spliced in by mid-query re-optimization
+    #: (:mod:`repro.adaptive.midquery`); EXPLAIN ANALYZE flags them.
+    replanned: bool = False
 
     @property
     def is_root(self) -> bool:

@@ -40,6 +40,18 @@ class DataStore:
         self._data[schema.name] = data
         return data
 
+    def drop_table(self, name: str) -> None:
+        """Remove a table's schema and data (DROP TABLE).
+
+        Used by mid-query re-optimization to clean up the ``__mq_*`` temp
+        tables that hold materialized intermediates.
+        """
+        key = name.lower()
+        if key not in self._data:
+            raise StorageError(f"no data for table {name}")
+        self.catalog.unregister(key)
+        del self._data[key]
+
     def table(self, name: str) -> TableData:
         try:
             return self._data[name.lower()]

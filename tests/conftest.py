@@ -18,7 +18,10 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
-from repro.adaptive import reset_adaptive_state  # noqa: E402
+from repro.adaptive import (  # noqa: E402
+    reset_adaptive_state,
+    reset_midquery_state,
+)
 from repro.exec.engine import ExecutionEngine  # noqa: E402
 from repro.obs.metrics import reset_registry  # noqa: E402
 from repro.serve import reset_serve_state  # noqa: E402
@@ -91,6 +94,19 @@ def _reset_adaptive_state():
     reset_adaptive_state()
     yield
     reset_adaptive_state()
+
+
+@pytest.fixture(autouse=True)
+def _reset_midquery_state():
+    """Each test starts (and ends) without leaked ``__mq_*`` temp tables.
+
+    The engine drops its materialization temps in a ``finally``, but a
+    test that monkeypatches execution or asserts mid-failure could still
+    strand one in a module-scoped cluster's store.
+    """
+    reset_midquery_state()
+    yield
+    reset_midquery_state()
 
 
 @pytest.fixture(autouse=True)

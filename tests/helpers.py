@@ -145,8 +145,20 @@ def make_company_store(
     sales: int = 500,
     seed: int = 5,
     partitions: int = 8,
+    dept_skew: float = 0.0,
+    sales_skew: float = 0.0,
+    correlated_regions: bool = False,
 ) -> DataStore:
-    """A small three-table database exercising joins and aggregates."""
+    """A small three-table database exercising joins and aggregates.
+
+    ``dept_skew`` / ``sales_skew`` put that fraction of employees into
+    department 1 / of sales onto employee 1 (a Zipf-like hot key that
+    wrecks uniform-selectivity estimates); ``correlated_regions`` makes
+    ``sales.region`` a pure function of ``emp_id`` instead of an
+    independent draw, so a region predicate correlates with the join
+    key.  All three default off and are applied as seeded post-passes,
+    so the base dataset is byte-identical to the knob-free one.
+    """
     rng = random.Random(seed)
     store = DataStore(site_count=sites, partitions_per_table=partitions)
     dept_rows = [
@@ -172,6 +184,28 @@ def make_company_store(
         )
         for s in range(1, sales + 1)
     ]
+    if dept_skew:
+        skew_rng = random.Random(seed ^ 0x5EED)
+        emp_rows = [
+            (e, 1, name, salary, hired)
+            if skew_rng.random() < dept_skew
+            else (e, d, name, salary, hired)
+            for (e, d, name, salary, hired) in emp_rows
+        ]
+    if sales_skew:
+        skew_rng = random.Random(seed ^ 0x5A1E)
+        sales_rows = [
+            (s, 1, amount, region)
+            if skew_rng.random() < sales_skew
+            else (s, e, amount, region)
+            for (s, e, amount, region) in sales_rows
+        ]
+    if correlated_regions:
+        regions = ["north", "south", "east", "west"]
+        sales_rows = [
+            (s, e, amount, regions[e % 4])
+            for (s, e, amount, _region) in sales_rows
+        ]
     store.create_table(
         TableSchema("dept", DEPT_COLUMNS, ["dept_id"], replicated=True),
         dept_rows,
@@ -188,13 +222,19 @@ def make_company_store(
     return store
 
 
-def make_company_cluster(config):
-    """An IgniteCalciteCluster over the company data set."""
+def make_company_cluster(config, **data_knobs):
+    """An IgniteCalciteCluster over the company data set.
+
+    ``data_knobs`` pass through to :func:`make_company_store` (e.g.
+    ``sales_skew=0.9`` for the mid-query re-optimization scenarios).
+    """
     from repro.core.cluster import IgniteCalciteCluster
 
     cluster = IgniteCalciteCluster(config)
     source = make_company_store(
-        sites=config.sites, partitions=config.partitions_per_table
+        sites=config.sites,
+        partitions=config.partitions_per_table,
+        **data_knobs,
     )
     for name in source.table_names():
         data = source.table(name)

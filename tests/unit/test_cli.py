@@ -70,6 +70,17 @@ class TestArgumentParsing:
         assert args.queries is None
         assert args.smoke is False
 
+    def test_midquery_defaults(self):
+        args = build_parser().parse_args(["midquery"])
+        assert args.systems == "IC,IC+,IC+M"
+        assert args.queries is None
+        assert args.seed == 7
+        assert args.threshold == 4.0
+        assert args.sf == (1.0,)
+        assert args.sites == (4,)
+        assert args.out is None
+        assert args.smoke is False
+
 
 class TestExecution:
     def test_query_command_prints_rows(self, capsys):
@@ -178,3 +189,20 @@ class TestServeCommand:
         payload = json.loads(out_path.read_text())
         assert payload["schema"] == "repro-serve-bench/v1"
         assert "IC+" in payload["systems"]
+
+    def test_midquery_smoke_gate(self, capsys, tmp_path):
+        """The midquery gate: a tiny skewed run whose artefact must be
+        differentially clean (adaptive rows order-identical to static,
+        oracle match, >= 1 replan fired) or `main` exits non-zero."""
+        import json
+
+        out_path = tmp_path / "midquery.json"
+        main(["midquery", "--smoke", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "midquery smoke: artefact valid" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-midquery/v1"
+        assert payload["total_replans"] >= 1
+        for row in payload["queries"]:
+            assert row["results_match"] is True
+            assert row["oracle_match"] is True
