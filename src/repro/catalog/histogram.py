@@ -22,9 +22,11 @@ MAX_SAMPLE = 4096
 class EquiDepthHistogram:
     """Bucket boundaries such that each bucket holds ~1/n of the rows."""
 
-    __slots__ = ("boundaries",)
+    __slots__ = ("boundaries", "_distinct")
 
-    def __init__(self, boundaries: Sequence):
+    def __init__(
+        self, boundaries: Sequence, distinct_values: Optional[int] = None
+    ):
         if len(boundaries) < 2:
             raise ValueError("histogram needs at least two boundaries")
         if boundaries[0] == boundaries[-1]:
@@ -34,6 +36,10 @@ class EquiDepthHistogram:
             # (EquiDepthHistogram.build returns None for this case).
             raise ValueError("histogram boundaries need two distinct values")
         self.boundaries = list(boundaries)
+        #: The column's true distinct count, tracked at build time — the
+        #: boundaries alone retain at most ``bucket_count + 1`` distinct
+        #: values and silently truncate any higher NDV.
+        self._distinct = distinct_values
 
     @property
     def bucket_count(self) -> int:
@@ -41,15 +47,25 @@ class EquiDepthHistogram:
 
     @staticmethod
     def build(
-        values: Sequence, buckets: int = DEFAULT_BUCKETS
+        values: Sequence,
+        buckets: int = DEFAULT_BUCKETS,
+        distinct_values: Optional[int] = None,
     ) -> Optional["EquiDepthHistogram"]:
         """Build from non-null ``values``; None when there is nothing to
         summarise — empty, single-valued or constant columns (whose
         sorted sample has no two distinct values) need no histogram and
-        must fall back to the linear estimate."""
+        must fall back to the linear estimate.
+
+        ``distinct_values`` pins the column's true NDV when the caller
+        already tracked it over the *full* column (the sampled values
+        below may under-count it); left None, the NDV observed in
+        ``values`` is tracked before any sampling narrows it.
+        """
         data = [v for v in values if v is not None]
         if len(data) < 2:
             return None
+        if distinct_values is None:
+            distinct_values = len(set(data))
         if len(data) > MAX_SAMPLE:
             step = len(data) / MAX_SAMPLE
             data = [data[int(i * step)] for i in range(MAX_SAMPLE)]
@@ -63,7 +79,20 @@ class EquiDepthHistogram:
             data[round(i * (len(data) - 1) / buckets)]
             for i in range(buckets + 1)
         ]
-        return EquiDepthHistogram(boundaries)
+        return EquiDepthHistogram(boundaries, distinct_values)
+
+    def distinct_estimate(self) -> int:
+        """The column's distinct count.
+
+        Returns the NDV tracked at build time.  Deriving the count from
+        the stored boundaries instead caps it at ``bucket_count + 1`` —
+        a 64-bucket histogram over a 1000-value column would silently
+        report <= 65 — so that derivation is only the last-resort
+        fallback for histograms constructed without tracking.
+        """
+        if self._distinct is not None:
+            return self._distinct
+        return len(set(self.boundaries))
 
     # -- estimation -----------------------------------------------------------
 

@@ -88,7 +88,12 @@ def compute_table_stats(
             sample = [
                 row[i] for row in rows[::sample_step] if row[i] is not None
             ]
-            histogram = EquiDepthHistogram.build(sample)
+            # The true NDV was tracked over the full column above; the
+            # sampled build would otherwise under-count (and the stored
+            # boundaries truncate at bucket_count + 1 distinct values).
+            histogram = EquiDepthHistogram.build(
+                sample, distinct_values=len(distinct[i])
+            )
         columns[name] = ColumnStats(
             distinct_count=len(distinct[i]),
             null_count=nulls[i],

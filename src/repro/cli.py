@@ -30,6 +30,9 @@
     repro-bench midquery  [--systems IC,IC+,IC+M] [--sf 1] [--sites 4]
                           [--queries MQ1,MQ3] [--seed 7] [--threshold 4.0]
                           [--out midquery.json] [--smoke]
+    repro-bench sketchbench [--systems IC,IC+,IC+M] [--sf 0.05] [--sites 4]
+                            [--benches company,tpch,ssb] [--queries C1,T2]
+                            [--seed 7] [--out sketchbench.json] [--smoke]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
                                    [--backend row] [--explain] [--analyze]
                                    [--no-plan-cache]
@@ -59,6 +62,13 @@ and reports both makespans (the adaptive one includes the charged
 re-planning cost), replan/plan-switch counts and the order-sensitive
 differential columns; its ``repro-midquery/v1`` artefact is
 schema-validated and ``--smoke`` is the tier-1 variant.
+``sketchbench`` runs the same seeded skew-heavy query set twice per
+(bench, system) cell — histograms-only vs ``sketch_statistics`` — and
+reports per-operator q-error distributions (p50/p95/max, overall and
+joins-only), plan-choice flips and order-sensitive differential columns;
+its ``repro-sketchbench/v1`` artefact is schema-validated (the skewed
+TPC-H cell's p95 join q-error must strictly improve) and ``--smoke`` is
+the tier-1 variant.
 ``adaptive`` repeats a workload slice on a plan-cache +
 cardinality-feedback cluster and reports planning-tick savings, cache
 hits, feedback replans and q-error drift (rows are diffed across repeats
@@ -394,6 +404,51 @@ def cmd_midquery(args) -> None:
         sys.exit(EXIT_MISMATCH)
     if args.smoke:
         print("midquery smoke: artefact valid")
+
+
+def cmd_sketchbench(args) -> None:
+    import json
+
+    from repro.bench.sketchbench import (
+        SMOKE_BENCHES,
+        SMOKE_QUERY_IDS,
+        run_sketchbench,
+    )
+
+    if args.smoke:
+        # Tiny deterministic run for CI: one system, the skewed company
+        # and TPC-H cells (the validator demands the TPC-H p95 join
+        # q-error improvement), three queries — exercises table-sketch
+        # build -> estimator consultation -> seam harvest end to end and
+        # validates the artefact including the differential columns.
+        report = run_sketchbench(
+            systems=("IC+",), benches=SMOKE_BENCHES, scale_factor=0.05,
+            sites=4, seed=args.seed, query_ids=SMOKE_QUERY_IDS,
+        )
+    else:
+        query_ids = None
+        if args.queries:
+            query_ids = [q.strip().upper() for q in args.queries.split(",")]
+        report = run_sketchbench(
+            systems=[s.strip() for s in args.systems.split(",")],
+            benches=[b.strip().lower() for b in args.benches.split(",")],
+            scale_factor=args.sf[0],
+            sites=args.sites[0],
+            seed=args.seed,
+            query_ids=query_ids,
+        )
+    print(report.to_text())
+    problems = report.validate()
+    if args.out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"sketchbench artefact written to {args.out}")
+    if problems:
+        print("invalid sketchbench artefact: " + "; ".join(problems))
+        sys.exit(EXIT_MISMATCH)
+    if args.smoke:
+        print("sketchbench smoke: artefact valid")
 
 
 def cmd_query(args) -> None:
@@ -819,6 +874,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p, default_sf="1", default_sites="4")
     p.set_defaults(func=cmd_midquery)
+
+    p = sub.add_parser(
+        "sketchbench",
+        help="estimator q-errors, histograms-only vs sketch statistics",
+    )
+    p.add_argument("--systems", default="IC,IC+,IC+M")
+    p.add_argument(
+        "--benches", default="company,tpch,ssb",
+        help="comma-separated cells (company = skewed star, tpch = "
+        "re-skewed orders, ssb = low-skew control)",
+    )
+    p.add_argument(
+        "--queries", default=None,
+        help="comma-separated query ids (e.g. C1,T2); default: all",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--out", default=None, help="write the sketchbench JSON artefact here"
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="tiny deterministic CI run; validates the artefact",
+    )
+    common(p, default_sf="0.05", default_sites="4")
+    p.set_defaults(func=cmd_sketchbench)
 
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")

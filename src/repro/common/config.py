@@ -166,6 +166,19 @@ class SystemConfig:
     #: makespan, so unbounded replanning could thrash).
     midquery_max_replans: int = 2
 
+    # ----- sketch-based statistics (repro.stats.sketches) ---------------------------
+    #: Consult seeded Fast-AGMS / Count-Min / HyperLogLog sketches in the
+    #: cardinality estimator: HLL distinct counts replace the catalog NDVs
+    #: in the Eq. 3 join estimator, CMS frequencies replace the ``1/NDV``
+    #: uniformity assumption for equality/IN predicates, and AGMS inner
+    #: products answer base equi-join sizes directly.  Sketches are built
+    #: per column on first consultation after load and refreshed online at
+    #: fragment seams; estimates compose with (but never override) the
+    #: cardinality-feedback actuals.  Off by default: with the flag off,
+    #: plans, makespans and ticks are bit-identical to the sketch-free
+    #: system.
+    sketch_statistics: bool = False
+
     # ----- multi-tenant serving (repro.serve) --------------------------------------
     #: Run-queue ordering for the serving layer's admission controller:
     #: ``fifo`` (arrival order), ``priority`` (higher tenant priority

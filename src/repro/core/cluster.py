@@ -45,6 +45,7 @@ from repro.rel.logical import RelNode
 from repro.rel.sql2rel import SqlToRelConverter
 from repro.sql import ast as ast_module
 from repro.sql.parser import parse
+from repro.stats.sketch_registry import SketchRegistry
 from repro.storage.store import DataStore
 
 
@@ -116,7 +117,11 @@ class IgniteCalciteCluster:
             site_count=config.sites,
             partitions_per_table=config.partitions_per_table,
         )
-        self._engine = ExecutionEngine(self.store, config)
+        #: Sketch-based statistics (None unless ``config.sketch_statistics``):
+        #: table-level sketches consulted by the estimator, operator-level
+        #: HLLs refreshed by the engine at fragment seams.
+        self.sketches = SketchRegistry.from_config(config, self.store)
+        self._engine = ExecutionEngine(self.store, config, sketches=self.sketches)
         #: View name -> defining SELECT AST (views_supported extension).
         self._views: dict = {}
         #: The fault injector behind ``config.faults`` (None = fault-free).
@@ -164,6 +169,8 @@ class IgniteCalciteCluster:
         """DDL changed what plans (and observed cardinalities) mean."""
         if self.adaptive is not None:
             self.adaptive.invalidate()
+        if self.sketches is not None:
+            self.sketches.invalidate()
 
     # -- planning --------------------------------------------------------------------
 
@@ -194,7 +201,7 @@ class IgniteCalciteCluster:
 
     def plan_sql(self, sql: str) -> PhysNode:
         logical = self.parse_to_logical(sql)
-        planner = QueryPlanner(self.store, self.config)
+        planner = QueryPlanner(self.store, self.config, sketches=self.sketches)
         return planner.plan(logical)
 
     def explain(self, sql: str) -> str:
@@ -244,14 +251,21 @@ class IgniteCalciteCluster:
             or self.config.tracing
             or self.fault_injector is not None
         ):
-            planner = QueryPlanner(self.store, self.config)
+            planner = QueryPlanner(
+                self.store, self.config, sketches=self.sketches
+            )
             return planner.plan(logical)
         signature, cached = adaptive.lookup(logical)
         if cached is not None:
             # Cache hit: Hep + Volcano skipped, zero budget ticks spent.
             cached._adaptive_key = signature.key
             return cached
-        planner = QueryPlanner(self.store, self.config, feedback=adaptive.feedback)
+        planner = QueryPlanner(
+            self.store,
+            self.config,
+            feedback=adaptive.feedback,
+            sketches=self.sketches,
+        )
         plan = planner.plan(logical)
         adaptive.store(signature, plan, planner.last_budget_spent)
         plan._adaptive_key = signature.key if signature is not None else None

@@ -182,9 +182,13 @@ class PartialExecution:
 class ExecutionEngine:
     """Executes physical plans for one cluster configuration."""
 
-    def __init__(self, store: DataStore, config: SystemConfig):
+    def __init__(self, store: DataStore, config: SystemConfig, sketches=None):
         self.store = store
         self.config = config
+        #: Optional :class:`repro.stats.sketch_registry.SketchRegistry`:
+        #: rows crossing non-root fragment seams are harvested into its
+        #: operator-level HLLs after every successful fault-free run.
+        self.sketches = sketches
         #: Actuals from the completed fragments of the most recent
         #: execution that *raised*; None after a successful one.
         self.last_partial: Optional[PartialExecution] = None
@@ -254,6 +258,11 @@ class ExecutionEngine:
         result_rows: Optional[List[Tuple]] = None
         fragment_sites: Dict[int, List[int]] = {}
         completed: List[Fragment] = []
+        # Sketch refresh taps the same seams as mid-query capture; fault-
+        # injected runs stay untouched so chaos replays are deterministic.
+        seam_captures: Optional[List[Tuple[Fragment, List[Tuple]]]] = (
+            [] if self.sketches is not None and injector is None else None
+        )
 
         try:
             with tracer.span("execute"):
@@ -281,6 +290,8 @@ class ExecutionEngine:
                             else:
                                 if midquery is not None:
                                     midquery.capture(fragment, site, rows)
+                                if seam_captures is not None:
+                                    seam_captures.append((fragment, rows))
                                 self._route(
                                     fragment, site, rows, ctx, coordinator,
                                     injector, at,
@@ -343,6 +354,8 @@ class ExecutionEngine:
                 limit=deadline,
                 elapsed=makespan,
             )
+        if seam_captures:
+            self.sketches.harvest(fragments, seam_captures)
         degraded = redispatched > 0 or (
             alive is not None and len(alive) < self.config.sites
         )

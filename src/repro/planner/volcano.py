@@ -79,12 +79,19 @@ class QueryPlanner:
     """Runs the full two-stage optimisation pipeline for one query."""
 
     def __init__(
-        self, store: DataStore, config: SystemConfig, feedback=None
+        self,
+        store: DataStore,
+        config: SystemConfig,
+        feedback=None,
+        sketches=None,
     ):
         self.store = store
         self.config = config
         self.estimator = Estimator(
-            store, config.fixed_join_estimation, feedback=feedback
+            store,
+            config.fixed_join_estimation,
+            feedback=feedback,
+            sketches=sketches,
         )
         self.cost_model = CostModel(config)
         #: Budget ticks the most recent :meth:`plan` call consumed; the

@@ -6,10 +6,21 @@ from repro.stats.estimator import (
     legacy_join_size,
     swami_schiefer_join_size,
 )
+from repro.stats.sketch_registry import SketchRegistry, reset_sketch_state
+from repro.stats.sketches import (
+    CountMinSketch,
+    FastAGMSSketch,
+    HyperLogLog,
+)
 
 __all__ = [
     "LEGACY_SMALL_INPUT",
+    "CountMinSketch",
     "Estimator",
+    "FastAGMSSketch",
+    "HyperLogLog",
+    "SketchRegistry",
     "legacy_join_size",
+    "reset_sketch_state",
     "swami_schiefer_join_size",
 ]

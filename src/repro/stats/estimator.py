@@ -103,7 +103,11 @@ class Estimator:
     """
 
     def __init__(
-        self, store: DataStore, fixed_join_estimation: bool, feedback=None
+        self,
+        store: DataStore,
+        fixed_join_estimation: bool,
+        feedback=None,
+        sketches=None,
     ):
         self._store = store
         self._fixed = fixed_join_estimation
@@ -111,6 +115,12 @@ class Estimator:
         #: observed actual cardinalities override the statistical guess
         #: for operators whose signature was executed before.
         self._feedback = feedback
+        #: Optional :class:`repro.stats.sketch_registry.SketchRegistry`:
+        #: HLL distinct counts, CMS frequencies and AGMS join sizes refine
+        #: the statistical guesses below.  Sketches never override
+        #: feedback: :meth:`row_count` consults ``_feedback_override``
+        #: before any sketch-informed computation runs.
+        self._sketches = sketches
         self._row_cache: Dict[str, float] = {}
 
     # -- row counts --------------------------------------------------------------
@@ -206,9 +216,11 @@ class Estimator:
         estimator = swami_schiefer_join_size if self._fixed else legacy_join_size
         result = None
         for left_key, right_key in pairs:
-            d_left = self.distinct_count(node.left, left_key)
-            d_right = self.distinct_count(node.right, right_key)
-            estimate = estimator(left_rows, right_rows, d_left, d_right)
+            estimate = self._sketch_join_size(node, left_key, right_key)
+            if estimate is None:
+                d_left = self.distinct_count(node.left, left_key)
+                d_right = self.distinct_count(node.right, right_key)
+                estimate = estimator(left_rows, right_rows, d_left, d_right)
             result = estimate if result is None else min(result, estimate)
         assert result is not None
         for conjunct in remainder:
@@ -217,14 +229,108 @@ class Estimator:
             result = max(result, left_rows)
         return max(1.0, result)
 
+    # -- sketch consultation ----------------------------------------------------------
+
+    def _sketch_join_size(
+        self, node: LogicalJoin, left_key: int, right_key: int
+    ) -> Optional[float]:
+        """AGMS inner-product estimate for one equi pair, when possible.
+
+        Only sound when both keys resolve to base-table columns through
+        *cardinality-preserving* chains (scans, column projections,
+        fetch-less sorts): a filter in between changes the key multiset,
+        and the base-table sketch would answer for the wrong stream.
+        """
+        if self._sketches is None:
+            return None
+        left = self._pure_base_column(node.left, left_key)
+        right = self._pure_base_column(node.right, right_key)
+        if left is None or right is None:
+            return None
+        estimate = self._sketches.join_inner_product(
+            left[0], left[1], right[0], right[1]
+        )
+        if estimate is None:
+            return None
+        return max(1.0, estimate)
+
+    def _pure_base_column(
+        self, node: RelNode, column: int
+    ) -> Optional[Tuple[str, str]]:
+        """(table, column name) through cardinality-preserving nodes only."""
+        if isinstance(node, LogicalTableScan):
+            return (node.table, node.fields[column].split(".", 1)[1])
+        if isinstance(node, LogicalSort):
+            if node.fetch is not None or node.offset is not None:
+                return None
+            return self._pure_base_column(node.input, column)
+        if isinstance(node, LogicalProject):
+            expr = node.exprs[column]
+            if isinstance(expr, ColRef):
+                return self._pure_base_column(node.input, expr.index)
+            return None
+        return None
+
+    def _sketch_equality_fraction(
+        self, input_node: RelNode, column: int, literal: object
+    ) -> Optional[float]:
+        """CMS-estimated selectivity of ``column = literal``.
+
+        The fraction is measured on the *base table* and applied to the
+        input under the usual conjunct-independence assumption — same
+        contract as the histogram range fractions, but frequency-exact on
+        skewed columns where ``1/NDV`` is off by the skew factor.
+        """
+        if self._sketches is None:
+            return None
+        base = self._base_column(input_node, column)
+        if base is None:
+            return None
+        return self._sketches.equality_fraction(base[0], base[1], literal)
+
+    def _base_column(
+        self, node: RelNode, column: int
+    ) -> Optional[Tuple[str, str]]:
+        """(table, column name) of the source column, traced like bounds."""
+        if isinstance(node, LogicalTableScan):
+            return (node.table, node.fields[column].split(".", 1)[1])
+        if isinstance(node, (LogicalFilter, LogicalSort)):
+            return self._base_column(node.inputs[0], column)
+        if isinstance(node, LogicalProject):
+            expr = node.exprs[column]
+            if isinstance(expr, ColRef):
+                return self._base_column(node.input, expr.index)
+            return None
+        if isinstance(node, LogicalJoin):
+            left_width = node.left.width
+            if node.join_type.projects_right and column >= left_width:
+                return self._base_column(node.right, column - left_width)
+            return self._base_column(node.left, column)
+        if isinstance(node, LogicalAggregate):
+            if column < len(node.group_keys):
+                return self._base_column(node.input, node.group_keys[column])
+            return None
+        return None
+
     # -- distinct values --------------------------------------------------------------
 
     def distinct_count(self, node: RelNode, column: int) -> Optional[float]:
         """Estimated distinct values in ``column`` of ``node``'s output."""
         if isinstance(node, LogicalTableScan):
             name = node.fields[column].split(".", 1)[1]
+            if self._sketches is not None:
+                estimate = self._sketches.table_distinct(node.table, name)
+                if estimate is not None:
+                    return estimate
             distinct = self._store.table(node.table).stats.distinct_count(name)
             return float(distinct) if distinct else None
+        if self._sketches is not None:
+            # An operator whose output crossed a fragment seam before has
+            # an online-refreshed HLL keyed by its signature — the exact
+            # distinct count of the intermediate, not a propagated guess.
+            observed = self._sketches.operator_distinct(node, column)
+            if observed is not None:
+                return min(observed, self.row_count(node))
         if isinstance(node, LogicalFilter):
             inner = self.distinct_count(node.input, column)
             if inner is None:
@@ -374,7 +480,25 @@ class Estimator:
 
     def _in_selectivity(self, conjunct: InList, input_node: RelNode) -> float:
         if isinstance(conjunct.operand, ColRef):
-            distinct = self.distinct_count(input_node, conjunct.operand.index)
+            column = conjunct.operand.index
+            if self._sketches is not None:
+                base = self._base_column(input_node, column)
+                if base is not None:
+                    # Sum of per-value CMS frequencies: IN lists mixing
+                    # hot and absent values price each member by its true
+                    # weight instead of a uniform 1/NDV each.
+                    total = 0.0
+                    for value in conjunct.values:
+                        fraction = self._sketches.equality_fraction(
+                            base[0], base[1], value
+                        )
+                        if fraction is None:
+                            total = None
+                            break
+                        total += fraction
+                    if total is not None:
+                        return min(1.0, total)
+            distinct = self.distinct_count(input_node, column)
             if distinct:
                 return min(1.0, len(conjunct.values) / distinct)
         return min(1.0, len(conjunct.values) * DEFAULT_EQ_SELECTIVITY)
@@ -389,11 +513,21 @@ class Estimator:
                 return DEFAULT_EQ_SELECTIVITY
             return DEFAULT_RANGE_SELECTIVITY
         if op == "=":
+            fraction = self._sketch_equality_fraction(
+                input_node, column.index, literal
+            )
+            if fraction is not None:
+                return fraction
             distinct = self.distinct_count(input_node, column.index)
             if distinct:
                 return 1.0 / max(distinct, 1.0)
             return DEFAULT_EQ_SELECTIVITY
         if op == "<>":
+            fraction = self._sketch_equality_fraction(
+                input_node, column.index, literal
+            )
+            if fraction is not None:
+                return 1.0 - fraction
             distinct = self.distinct_count(input_node, column.index)
             if distinct:
                 return 1.0 - 1.0 / max(distinct, 1.0)

@@ -25,6 +25,7 @@ from repro.adaptive import (  # noqa: E402
 from repro.exec.engine import ExecutionEngine  # noqa: E402
 from repro.obs.metrics import reset_registry  # noqa: E402
 from repro.serve import reset_serve_state  # noqa: E402
+from repro.stats import reset_sketch_state  # noqa: E402
 from repro.verify.invariants import (  # noqa: E402
     PlanValidator,
     check_execution_result,
@@ -120,6 +121,19 @@ def _reset_serve_state():
     reset_serve_state()
     yield
     reset_serve_state()
+
+
+@pytest.fixture(autouse=True)
+def _reset_sketch_state():
+    """Each test starts with empty sketch registries.
+
+    Module-scoped clusters outlive a single test; wiping their table and
+    operator sketches keeps seam-harvested HLLs from one test from
+    steering another test's plans.
+    """
+    reset_sketch_state()
+    yield
+    reset_sketch_state()
 
 
 @pytest.fixture(autouse=True)

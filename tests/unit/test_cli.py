@@ -81,6 +81,17 @@ class TestArgumentParsing:
         assert args.out is None
         assert args.smoke is False
 
+    def test_sketchbench_defaults(self):
+        args = build_parser().parse_args(["sketchbench"])
+        assert args.systems == "IC,IC+,IC+M"
+        assert args.benches == "company,tpch,ssb"
+        assert args.queries is None
+        assert args.seed == 7
+        assert args.sf == (0.05,)
+        assert args.sites == (4,)
+        assert args.out is None
+        assert args.smoke is False
+
 
 class TestExecution:
     def test_query_command_prints_rows(self, capsys):
@@ -203,6 +214,30 @@ class TestServeCommand:
         payload = json.loads(out_path.read_text())
         assert payload["schema"] == "repro-midquery/v1"
         assert payload["total_replans"] >= 1
+        for row in payload["queries"]:
+            assert row["results_match"] is True
+            assert row["oracle_match"] is True
+
+    def test_sketchbench_smoke_gate(self, capsys, tmp_path):
+        """The sketchbench gate: a tiny histograms-vs-sketches run whose
+        artefact must be differentially clean (sketch rows order-identical
+        to histogram rows, oracle match, >= 1 plan flip) and whose skewed
+        TPC-H p95 join q-error strictly improves, or `main` exits
+        non-zero."""
+        import json
+
+        out_path = tmp_path / "sketchbench.json"
+        main(["sketchbench", "--smoke", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "sketchbench smoke: artefact valid" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-sketchbench/v1"
+        assert payload["total_plan_flips"] >= 1
+        assert payload["tpch_p95_join_improved"] is True
+        assert (
+            payload["tpch_join_p95_sketches"]
+            < payload["tpch_join_p95_histograms"]
+        )
         for row in payload["queries"]:
             assert row["results_match"] is True
             assert row["oracle_match"] is True

@@ -144,3 +144,54 @@ class TestStatisticsIntegration:
         estimate = estimator.row_count(node)
         actual = sum(1 for r in rows if r[1] < 10.0)
         assert estimate == pytest.approx(actual, rel=0.15)
+
+
+class TestDistinctEstimate:
+    """Regression: the histogram-derived NDV used to be read off the
+    stored boundaries, which retain at most ``bucket_count + 1`` distinct
+    values — a 64-bucket histogram over a 1000-value column silently
+    reported <= 65."""
+
+    def test_high_ndv_not_truncated_by_buckets(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)))
+        assert histogram.bucket_count <= 64
+        assert histogram.distinct_estimate() == 1000
+
+    def test_ndv_tracked_before_sampling(self):
+        # 100k distinct values, sampled down to 4096 during the build:
+        # the NDV must reflect the full input, not the sample.
+        histogram = EquiDepthHistogram.build(list(range(100_000)))
+        assert histogram.distinct_estimate() == 100_000
+
+    def test_caller_pinned_ndv_wins(self):
+        histogram = EquiDepthHistogram.build(
+            [1, 2, 3, 4], distinct_values=1234
+        )
+        assert histogram.distinct_estimate() == 1234
+
+    def test_untracked_histogram_falls_back_to_boundaries(self):
+        histogram = EquiDepthHistogram([1, 2, 3, 4])
+        assert histogram.distinct_estimate() == 4
+
+    def test_table_stats_pin_true_ndv(self):
+        rows = [(i, i % 997) for i in range(5000)]
+        stats = compute_table_stats(rows, ["k", "v"])
+        column = stats.column("v")
+        assert column.distinct_count == 997
+        assert column.histogram is not None
+        assert column.histogram.distinct_estimate() == 997
+
+    def test_histogram_and_hll_agree_on_small_inputs(self):
+        """Both NDV paths the estimator can take must tell the same
+        story where exactness is cheap: small inputs."""
+        from repro.stats.sketches import HyperLogLog
+
+        for ndv in (2, 10, 64, 300):
+            values = [i % ndv for i in range(1000)]
+            histogram = EquiDepthHistogram.build(values)
+            hll = HyperLogLog()
+            for v in values:
+                hll.add(v)
+            if histogram is not None:
+                assert histogram.distinct_estimate() == ndv
+            assert round(hll.estimate()) == pytest.approx(ndv, rel=0.02)

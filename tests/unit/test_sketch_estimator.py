@@ -1,0 +1,252 @@
+"""Estimator accuracy with sketch statistics on vs off.
+
+Three known-bad histogram-era estimates, each pinned as a q-error
+comparison between a default cluster (histograms only) and one with
+``sketch_statistics=True``:
+
+* the skewed equi-join — 1/NDV prices a hot-key filter at a few rows
+  while it passes most of the table, and Swami-Schiefer under-sizes the
+  skewed many-to-many join;
+* the big IN list over values that mostly do not exist — priced at
+  ``len(list)/NDV`` of the table by the histogram path, near zero by
+  Count-Min frequencies;
+* the near-constant column — 1/NDV = half the table for the rare value.
+
+Plus the regression the whole feature must not cause: with
+``sketch_statistics=False`` (the default) nothing changes — no registry
+is constructed, no sketch counter moves, and plans, rows and simulated
+makespans are identical to a cluster that has never heard of sketches.
+"""
+
+import pytest
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import ColumnType
+from repro.common.config import SystemConfig
+from repro.core.cluster import IgniteCalciteCluster
+from repro.obs.metrics import get_registry
+from repro.stats.sketch_registry import SketchRegistry
+
+pytestmark = pytest.mark.sketch
+
+#: Hot join key: 90% of fact rows carry it; 200 distinct keys total.
+HOT_KEY = 1
+N_FACTS = 2000
+N_KEYS = 200
+
+
+def _load(config: SystemConfig) -> IgniteCalciteCluster:
+    """A small skew-heavy cluster deterministic in everything.
+
+    ``facts``: 90% of ``k`` = HOT_KEY, remainder spread over N_KEYS;
+    ``v`` uniform over 0..4999; ``c`` constant 7 except one row of 8.
+    """
+    cluster = IgniteCalciteCluster(config)
+    cluster.create_table(
+        TableSchema(
+            "dims",
+            [Column("id", ColumnType.BIGINT), Column("name", ColumnType.VARCHAR)],
+            ["id"],
+        ),
+        [(i, f"d{i}") for i in range(N_KEYS)],
+    )
+    facts = [
+        (
+            i,
+            HOT_KEY if i % 10 else (i // 10) % N_KEYS,
+            (i * 2503) % 5000,
+            8 if i == 1234 else 7,
+        )
+        for i in range(N_FACTS)
+    ]
+    cluster.create_table(
+        TableSchema(
+            "facts",
+            [
+                Column("id", ColumnType.BIGINT),
+                Column("k", ColumnType.BIGINT),
+                Column("v", ColumnType.BIGINT),
+                Column("c", ColumnType.BIGINT),
+            ],
+            ["id"],
+        ),
+        facts,
+    )
+    # Small many-to-many pair (unfiltered self-joins on the big facts
+    # table would exceed the simulated runtime limit): 90% hot key.
+    for name in ("mm1", "mm2"):
+        cluster.create_table(
+            TableSchema(
+                name,
+                [
+                    Column("id", ColumnType.BIGINT),
+                    Column("k", ColumnType.BIGINT),
+                ],
+                ["id"],
+            ),
+            [(i, HOT_KEY if i % 10 else (i // 10) % 50) for i in range(300)],
+        )
+    return cluster
+
+
+@pytest.fixture
+def clusters():
+    base = SystemConfig.ic_plus(sites=4)
+    return _load(base), _load(base.with_(sketch_statistics=True))
+
+
+def _q_errors(off_cluster, on_cluster, sql):
+    off = off_cluster.sql(sql)
+    on = on_cluster.sql(sql)
+    # Same rows in the same order (every query here has an ORDER BY).
+    assert off.rows == on.rows
+    return off.max_q_error(), on.max_q_error()
+
+
+def test_skewed_hot_key_join(clusters):
+    off_q, on_q = _q_errors(
+        *clusters,
+        "SELECT f.id, d.name FROM facts f JOIN dims d ON f.k = d.id "
+        f"WHERE f.k = {HOT_KEY} ORDER BY f.id",
+    )
+    # Histograms: 2000/200 = 10 rows estimated, 1800 actual.
+    assert off_q > 50
+    assert on_q < 1.5
+    assert on_q < off_q
+
+
+def test_skewed_many_to_many_join(clusters):
+    off_q, on_q = _q_errors(
+        *clusters,
+        "SELECT COUNT(*) FROM mm1 a JOIN mm2 b ON a.k = b.k",
+    )
+    # Swami-Schiefer: |A||B|/NDV = 1.8k; the hot key alone contributes
+    # 270^2 = 72.9k pairs.  Fast-AGMS prices the inner product directly.
+    assert off_q > 10
+    assert on_q < 2.0
+    assert on_q < off_q
+
+
+def test_large_in_list_of_absent_values(clusters):
+    in_list = ", ".join(str(v) for v in range(5000, 6000))
+    off_q, on_q = _q_errors(
+        *clusters,
+        f"SELECT id FROM facts WHERE v IN ({in_list}) ORDER BY id",
+    )
+    # Histogram path: 1000/NDV(v) of the table survives the filter; the
+    # values do not exist, so the truth is zero (floored at one row).
+    # Count-Min still accumulates ~total/width of collision noise *per
+    # summed member*, so 1000 absent members leave a small residue — the
+    # pin is an order-of-magnitude improvement, not perfection.
+    assert off_q > 100
+    assert on_q < 30
+    assert on_q < off_q / 10
+
+
+def test_near_constant_column_rare_value(clusters):
+    off_q, on_q = _q_errors(
+        *clusters,
+        "SELECT id FROM facts WHERE c = 8 ORDER BY id",
+    )
+    # 1/NDV = half the table for a value that occurs once.
+    assert off_q > 100
+    assert on_q < 2.0
+
+
+def test_sketches_compose_with_feedback_not_override():
+    """After a repeat execution, feedback actuals take precedence: the
+    observed cardinality wins over any sketch estimate."""
+    on_cluster = _load(
+        SystemConfig.ic_plus(sites=4).with_(
+            sketch_statistics=True, cardinality_feedback=True
+        )
+    )
+    assert on_cluster.adaptive is not None
+    sql = (
+        "SELECT f.id, d.name FROM facts f JOIN dims d ON f.k = d.id "
+        f"WHERE f.k = {HOT_KEY} ORDER BY f.id"
+    )
+    first = on_cluster.sql(sql)
+    second = on_cluster.sql(sql)
+    assert second.rows == first.rows
+    # Feedback replaces estimates with actuals: q-error stays pinned.
+    assert second.max_q_error() <= first.max_q_error() + 1e-9
+
+
+# -- the off switch -----------------------------------------------------------
+
+
+def test_default_config_builds_no_registry():
+    config = SystemConfig.ic_plus(sites=4)
+    assert config.sketch_statistics is False
+    cluster = _load(config)
+    assert cluster.sketches is None
+    assert SketchRegistry.from_config(config, cluster.store) is None
+
+
+def test_sketches_off_is_byte_identical_to_never_wired():
+    """The default path must not change by a bit: same plan digests,
+    same rows, same simulated makespans, zero sketch counters."""
+    registry = get_registry()
+    before = registry.counter("sketch.table_builds")
+    base = SystemConfig.ic_plus(sites=4)
+    off = _load(base)
+    explicit_off = _load(base.with_(sketch_statistics=False))
+    queries = [
+        f"SELECT f.id, d.name FROM facts f JOIN dims d ON f.k = d.id "
+        f"WHERE f.k = {HOT_KEY} ORDER BY f.id",
+        "SELECT COUNT(*) FROM mm1 a JOIN mm2 b ON a.k = b.k",
+        "SELECT id FROM facts WHERE c = 8 ORDER BY id",
+    ]
+    for sql in queries:
+        assert off.plan_sql(sql).digest() == explicit_off.plan_sql(sql).digest()
+        r1, r2 = off.sql(sql), explicit_off.sql(sql)
+        assert r1.rows == r2.rows
+        assert r1.simulated_seconds == r2.simulated_seconds
+    assert registry.counter("sketch.table_builds") == before
+    assert registry.counter("sketch.seam_refreshes") == 0
+    assert registry.counter("sketch.operator_hits") == 0
+
+
+def test_ddl_invalidates_table_sketches(clusters):
+    """Reloading a table must drop its sketches (id-identity + explicit
+    invalidation): estimates follow the new data, not the old."""
+    _, on_cluster = clusters
+    sql = f"SELECT id FROM facts WHERE k = {HOT_KEY} ORDER BY id"
+    hot_rows = sum(
+        1
+        for i in range(N_FACTS)
+        if (HOT_KEY if i % 10 else (i // 10) % N_KEYS) == HOT_KEY
+    )
+    assert len(on_cluster.sql(sql).rows) == hot_rows
+    # Replace facts with a table where the hot key never appears.
+    on_cluster.store.drop_table("facts")
+    on_cluster.create_table(
+        TableSchema(
+            "facts",
+            [
+                Column("id", ColumnType.BIGINT),
+                Column("k", ColumnType.BIGINT),
+                Column("v", ColumnType.BIGINT),
+                Column("c", ColumnType.BIGINT),
+            ],
+            ["id"],
+        ),
+        [(i, 5, i, 7) for i in range(10)],
+    )
+    result = on_cluster.sql(sql)
+    assert result.rows == []
+    # The new estimate reflects the new data: nothing survives k=1, so
+    # the scan+filter estimates are tiny (no stale 1800-row guess).
+    assert result.max_q_error() < 15
+
+
+def test_seam_harvest_feeds_operator_distinct(clusters):
+    """Rows crossing fragment seams refresh operator-level HLLs."""
+    _, on_cluster = clusters
+    registry = get_registry()
+    on_cluster.sql(
+        "SELECT f.id, d.name FROM facts f JOIN dims d ON f.k = d.id "
+        "ORDER BY f.id"
+    )
+    assert registry.counter("sketch.seam_refreshes") >= 1

@@ -1,0 +1,181 @@
+"""Unit tests for the sketchbench bench module and artefact schema."""
+
+import pytest
+
+from repro.bench.sketchbench import (
+    SKETCHBENCH_SCHEMA,
+    SMOKE_BENCHES,
+    SMOKE_QUERY_IDS,
+    run_sketchbench,
+    validate_sketchbench_artefact,
+)
+
+pytestmark = pytest.mark.sketch
+
+
+@pytest.fixture(scope="module")
+def report():
+    # The smoke cell: one system, the two skewed benches, three queries.
+    return run_sketchbench(
+        systems=("IC+",), benches=SMOKE_BENCHES, scale_factor=0.05,
+        sites=4, seed=7, query_ids=SMOKE_QUERY_IDS,
+    )
+
+
+class TestRunSketchbench:
+    def test_artefact_is_valid(self, report):
+        assert report.validate() == []
+
+    def test_differentially_clean(self, report):
+        assert not report.skipped
+        for q in report.queries:
+            assert q.results_match and q.oracle_match
+
+    def test_tpch_p95_join_strictly_improves(self, report):
+        assert report.tpch_p95_join_improved
+        assert (
+            report.tpch_join_p95_sketches < report.tpch_join_p95_histograms
+        )
+
+    def test_plans_actually_flipped(self, report):
+        assert report.total_plan_flips >= 1
+
+    def test_sketch_counters_sampled(self, report):
+        # Both cells built table sketches and harvested at least one seam.
+        for cell in report.cells:
+            assert cell.table_builds >= 1
+            assert cell.seam_refreshes >= 1
+
+    def test_text_and_dict_round_trip(self, report):
+        text = report.to_text()
+        assert "skewed-TPC-H join q-error p95" in text
+        obj = report.to_dict()
+        assert obj["schema"] == SKETCHBENCH_SCHEMA
+        assert obj["benches"] == list(SMOKE_BENCHES)
+        assert len(obj["cells"]) == 2
+
+    def test_determinism(self, report):
+        again = run_sketchbench(
+            systems=("IC+",), benches=SMOKE_BENCHES, scale_factor=0.05,
+            sites=4, seed=7, query_ids=SMOKE_QUERY_IDS,
+        )
+        assert again.to_dict() == report.to_dict()
+
+
+class TestValidateArtefact:
+    @staticmethod
+    def _valid():
+        return {
+            "schema": SKETCHBENCH_SCHEMA,
+            "systems": ["IC+"],
+            "benches": ["tpch"],
+            "sites": 4,
+            "scale_factor": 0.05,
+            "seed": 7,
+            "total_plan_flips": 1,
+            "tpch_join_p95_histograms": 34.0,
+            "tpch_join_p95_sketches": 1.0,
+            "tpch_p95_join_improved": True,
+            "queries": [
+                {
+                    "bench": "tpch",
+                    "query": "T1",
+                    "system": "IC+",
+                    "rows": 10,
+                    "plan_flip": True,
+                    "histogram_max_q_error": 34.0,
+                    "sketch_max_q_error": 1.0,
+                    "results_match": True,
+                    "oracle_match": True,
+                }
+            ],
+            "cells": [
+                {
+                    "bench": "tpch",
+                    "system": "IC+",
+                    "queries": 1,
+                    "plan_flips": 1,
+                    "histogram_q_errors": {
+                        "all": {"count": 5, "p50": 2.0, "p95": 34.0, "max": 34.0},
+                        "join": {"count": 1, "p50": 34.0, "p95": 34.0, "max": 34.0},
+                    },
+                    "sketch_q_errors": {
+                        "all": {"count": 5, "p50": 1.0, "p95": 1.0, "max": 1.0},
+                        "join": {"count": 1, "p50": 1.0, "p95": 1.0, "max": 1.0},
+                    },
+                    "table_builds": 8,
+                    "seam_refreshes": 1,
+                    "operator_hits": 0,
+                }
+            ],
+            "skipped": {},
+        }
+
+    def test_accepts_valid(self):
+        assert validate_sketchbench_artefact(self._valid()) == []
+
+    def test_rejects_non_dict(self):
+        assert validate_sketchbench_artefact([]) != []
+
+    def test_rejects_missing_top_key(self):
+        obj = self._valid()
+        del obj["tpch_p95_join_improved"]
+        problems = validate_sketchbench_artefact(obj)
+        assert any("tpch_p95_join_improved" in p for p in problems)
+
+    def test_rejects_wrong_schema(self):
+        obj = self._valid()
+        obj["schema"] = "repro-sketchbench/v0"
+        assert validate_sketchbench_artefact(obj)
+
+    def test_rejects_row_mismatch(self):
+        obj = self._valid()
+        obj["queries"][0]["results_match"] = False
+        problems = validate_sketchbench_artefact(obj)
+        assert any("differ from histogram rows" in p for p in problems)
+
+    def test_rejects_oracle_mismatch(self):
+        obj = self._valid()
+        obj["queries"][0]["oracle_match"] = False
+        problems = validate_sketchbench_artefact(obj)
+        assert any("reference executor" in p for p in problems)
+
+    def test_rejects_sub_one_q_error(self):
+        obj = self._valid()
+        obj["queries"][0]["sketch_max_q_error"] = 0.5
+        assert validate_sketchbench_artefact(obj)
+
+    def test_rejects_zero_plan_flips(self):
+        obj = self._valid()
+        obj["total_plan_flips"] = 0
+        problems = validate_sketchbench_artefact(obj)
+        assert any("never changed a plan" in p for p in problems)
+
+    def test_rejects_unimproved_tpch_cell(self):
+        obj = self._valid()
+        obj["tpch_p95_join_improved"] = False
+        problems = validate_sketchbench_artefact(obj)
+        assert any("strictly improve" in p for p in problems)
+
+    def test_tpch_improvement_not_required_without_tpch_cell(self):
+        obj = self._valid()
+        obj["tpch_p95_join_improved"] = False
+        for row in obj["queries"]:
+            row["bench"] = "company"
+        for cell in obj["cells"]:
+            cell["bench"] = "company"
+        assert validate_sketchbench_artefact(obj) == []
+
+    def test_rejects_missing_distribution_stat(self):
+        obj = self._valid()
+        del obj["cells"][0]["sketch_q_errors"]["join"]["p95"]
+        problems = validate_sketchbench_artefact(obj)
+        assert any("p95" in p for p in problems)
+
+    def test_rejects_empty_queries_and_cells(self):
+        obj = self._valid()
+        obj["queries"] = []
+        assert validate_sketchbench_artefact(obj)
+        obj = self._valid()
+        obj["cells"] = []
+        assert validate_sketchbench_artefact(obj)
