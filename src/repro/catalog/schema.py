@@ -55,10 +55,13 @@ class TableSchema:
         primary_key: Sequence[str],
         affinity_key: Optional[str] = None,
         replicated: bool = False,
+        adapter: str = "native",
     ):
         if not columns:
             raise CatalogError(f"table {name} has no columns")
         self.name = name.lower()
+        #: Storage adapter backing this table (``CREATE TABLE ... USING``).
+        self.adapter = adapter.lower()
         self.columns: Tuple[Column, ...] = tuple(columns)
         self._index_of: Dict[str, int] = {}
         for pos, col in enumerate(self.columns):

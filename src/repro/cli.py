@@ -33,6 +33,9 @@
     repro-bench sketchbench [--systems IC,IC+,IC+M] [--sf 0.05] [--sites 4]
                             [--benches company,tpch,ssb] [--queries C1,T2]
                             [--seed 7] [--out sketchbench.json] [--smoke]
+    repro-bench fedbench  [--systems IC,IC+,IC+M] [--sf 0.05] [--sites 4]
+                          [--queries FB1,FB4] [--seed 7]
+                          [--out fedbench.json] [--smoke]
     repro-bench query "select ..." [--system IC+] [--bench tpch] [--sf 0.5]
                                    [--backend row] [--explain] [--analyze]
                                    [--no-plan-cache]
@@ -69,6 +72,14 @@ joins-only), plan-choice flips and order-sensitive differential columns;
 its ``repro-sketchbench/v1`` artefact is schema-validated (the skewed
 TPC-H cell's p95 join q-error must strictly improve) and ``--smoke`` is
 the tier-1 variant.
+``fedbench`` spreads a company star over all three storage adapters
+(native, columnfile, remote) and runs cross-source joins through every
+(query, system, backend) cell, diffing each order-sensitively against
+the reference executor; its ``repro-fedbench/v1`` artefact carries the
+pushdown evidence (adapter rows scanned vs shipped, reconciled against
+FragmentStats), the plan-digest flips proving per-adapter cost constants
+steer plan choice, and a chaos replay — schema-validated, with
+``--smoke`` as the tier-1 variant.
 ``adaptive`` repeats a workload slice on a plan-cache +
 cardinality-feedback cluster and reports planning-tick savings, cache
 hits, feedback replans and q-error drift (rows are diffed across repeats
@@ -449,6 +460,49 @@ def cmd_sketchbench(args) -> None:
         sys.exit(EXIT_MISMATCH)
     if args.smoke:
         print("sketchbench smoke: artefact valid")
+
+
+def cmd_fedbench(args) -> None:
+    import json
+
+    from repro.bench.fedbench import SMOKE_QUERY_IDS, run_fedbench
+
+    if args.smoke:
+        # Tiny deterministic run for CI: one system, three queries still
+        # crossing all three adapters — exercises DDL routing, pushdown
+        # rules, both execution backends and the chaos replay end to end
+        # and validates the artefact (including the plan-flip evidence).
+        report = run_fedbench(
+            systems=("IC+",), scale_factor=0.05, sites=4, seed=args.seed,
+            query_ids=SMOKE_QUERY_IDS,
+        )
+    else:
+        query_ids = None
+        if args.queries:
+            query_ids = [q.strip().upper() for q in args.queries.split(",")]
+        try:
+            report = run_fedbench(
+                systems=[s.strip() for s in args.systems.split(",")],
+                scale_factor=args.sf[0],
+                sites=args.sites[0],
+                seed=args.seed,
+                query_ids=query_ids,
+            )
+        except ValueError as exc:
+            print(f"bad fedbench parameters: {exc}")
+            sys.exit(EXIT_USAGE)
+    print(report.to_text())
+    problems = report.validate()
+    if args.out:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"fedbench artefact written to {args.out}")
+    if problems:
+        print("invalid fedbench artefact: " + "; ".join(problems))
+        sys.exit(EXIT_MISMATCH)
+    if args.smoke:
+        print("fedbench smoke: artefact valid")
 
 
 def cmd_query(args) -> None:
@@ -899,6 +953,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p, default_sf="0.05", default_sites="4")
     p.set_defaults(func=cmd_sketchbench)
+
+    p = sub.add_parser(
+        "fedbench",
+        help="cross-source federation cells over the storage adapters",
+    )
+    p.add_argument("--systems", default="IC,IC+,IC+M")
+    p.add_argument(
+        "--queries", default=None,
+        help="comma-separated query ids (e.g. FB1,FB4); default: all",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--out", default=None, help="write the fedbench JSON artefact here"
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="tiny deterministic CI run; validates the artefact",
+    )
+    common(p, default_sf="0.05", default_sites="4")
+    p.set_defaults(func=cmd_fedbench)
 
     p = sub.add_parser("query", help="run ad-hoc SQL")
     p.add_argument("sql")

@@ -35,7 +35,8 @@ from repro.common.errors import (
     UnsupportedSqlError,
 )
 from repro.faults.injector import FaultInjector
-from repro.catalog.schema import TableSchema
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.types import ColumnType
 from repro.exec.engine import ExecutionEngine, ExecutionResult
 from repro.exec.physical import PhysNode
 from repro.obs.metrics import get_registry
@@ -47,6 +48,24 @@ from repro.sql import ast as ast_module
 from repro.sql.parser import parse
 from repro.stats.sketch_registry import SketchRegistry
 from repro.storage.store import DataStore
+
+
+#: SQL type name (as lexed, lower-case) -> catalog column type for
+#: ``CREATE TABLE`` DDL.  Synonyms mirror common dialect spellings.
+_SQL_COLUMN_TYPES = {
+    "int": ColumnType.INTEGER,
+    "integer": ColumnType.INTEGER,
+    "bigint": ColumnType.BIGINT,
+    "double": ColumnType.DOUBLE,
+    "float": ColumnType.DOUBLE,
+    "decimal": ColumnType.DECIMAL,
+    "numeric": ColumnType.DECIMAL,
+    "varchar": ColumnType.VARCHAR,
+    "string": ColumnType.VARCHAR,
+    "char": ColumnType.CHAR,
+    "date": ColumnType.DATE,
+    "boolean": ColumnType.BOOLEAN,
+}
 
 
 class QueryStatus(enum.Enum):
@@ -159,6 +178,41 @@ class IgniteCalciteCluster:
         self.store.create_table(schema, rows)
         self._invalidate_plans()
 
+    def _ddl_create_table(self, statement: ast_module.CreateTable) -> None:
+        """Register an empty table from a parsed ``CREATE TABLE``.
+
+        The ``USING`` clause routes storage to a registered adapter; the
+        PRIMARY KEY clause (or its first-column default) decides the
+        affinity key exactly as programmatic DDL does.
+        """
+        columns = []
+        for column_name, type_name in statement.columns:
+            try:
+                column_type = _SQL_COLUMN_TYPES[type_name]
+            except KeyError:
+                raise UnsupportedSqlError(
+                    f"unknown column type {type_name!r}"
+                ) from None
+            columns.append(Column(column_name, column_type))
+        schema = TableSchema(
+            statement.name,
+            columns,
+            statement.primary_key or [columns[0].name],
+            adapter=statement.adapter or "native",
+        )
+        self.create_table(schema, [])
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and invalidate everything keyed off its identity.
+
+        Cached plans (and their compiled pushdowns), cardinality feedback
+        and sketch estimates all assume the dropped table's adapter,
+        placement and contents — a later same-named table may differ in
+        all three, so the caches must not survive the drop.
+        """
+        self.store.drop_table(name)
+        self._invalidate_plans()
+
     def create_index(
         self, table: str, index_name: str, columns: Sequence[str]
     ) -> None:
@@ -176,9 +230,9 @@ class IgniteCalciteCluster:
 
     def parse_to_logical(self, sql: str) -> RelNode:
         statement = parse(sql, allow_views=self.config.views_supported)
-        if isinstance(statement, ast_module.CreateView):
+        if isinstance(statement, (ast_module.CreateView, ast_module.CreateTable)):
             raise UnsupportedSqlError(
-                "CREATE VIEW is DDL; use create_view() or try_sql()"
+                "DDL statements have no logical plan; use sql() or try_sql()"
             )
         converter = SqlToRelConverter(
             self.store.catalog,
@@ -349,6 +403,9 @@ class IgniteCalciteCluster:
                 raise UnsupportedSqlError(
                     "CREATE VIEW is DDL; use create_view() or try_sql()"
                 )
+            if isinstance(statement, ast_module.CreateTable):
+                self._ddl_create_table(statement)
+                return _empty_result(self.config)
             if self.config.verify_execution:
                 # Imported lazily: the differential module imports the engine.
                 from repro.verify.differential import differential_check
@@ -391,6 +448,11 @@ class IgniteCalciteCluster:
                 if isinstance(statement, ast_module.CreateView):
                     self._views[statement.name] = statement.select
                     self._invalidate_plans()
+                    return QueryOutcome(
+                        QueryStatus.OK, result=_empty_result(self.config)
+                    )
+                if isinstance(statement, ast_module.CreateTable):
+                    self._ddl_create_table(statement)
                     return QueryOutcome(
                         QueryStatus.OK, result=_empty_result(self.config)
                     )

@@ -120,10 +120,36 @@ class CostModel:
 
     # -- relational operators -------------------------------------------------------
 
-    def scan(self, rows: float, width: int, df: float = 1.0) -> Cost:
-        """Table or index scan: pass every tuple of the local partition."""
+    def scan(
+        self,
+        rows: float,
+        width: int,
+        df: float = 1.0,
+        adapter_costs=None,
+        out_rows: float = None,
+    ) -> Cost:
+        """Table or index scan: pass every tuple of the local partition.
+
+        For adapter-backed tables, ``adapter_costs`` (an
+        :class:`repro.storage.adapters.AdapterCosts`) prices the source
+        asymmetry: CPU and IO are charged on the ``rows`` the source must
+        read, network shipping on ``out_rows`` — the rows surviving any
+        pushed filter/project/fetch — so pushdown visibly cheapens the
+        plans the optimizer compares.  ``adapter_costs=None`` (the native
+        engine) reproduces the historical ``rows * RPTC`` exactly.
+        """
         local = rows / self._df(df)
-        return Cost(cpu=local * RPTC)
+        if adapter_costs is None:
+            return Cost(cpu=local * RPTC)
+        shipped = (rows if out_rows is None else out_rows) / self._df(df)
+        return Cost(
+            cpu=local * RPTC * adapter_costs.scan_cpu_factor,
+            io=local * adapter_costs.io_units_per_row,
+            network=(
+                shipped * adapter_costs.network_units_per_row
+                + adapter_costs.request_units
+            ),
+        )
 
     def filter(self, rows: float, df: float = 1.0) -> Cost:
         local = rows / self._df(df)

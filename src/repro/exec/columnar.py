@@ -24,9 +24,11 @@ Three rules keep the backend honest:
 
 * **Row fallback, never wrong answers.**  Expressions the vectorizer
   does not cover (SUBSTRING, COALESCE, mixed-type object columns, ...)
-  are evaluated row-at-a-time over only the referenced columns, and
-  DISTINCT / REDUCE aggregation falls back to the shared row cores.
-  Falling back costs wall-clock, never correctness.
+  are evaluated row-at-a-time over only the referenced columns.
+  DISTINCT aggregation dedupes ``(group, value)`` pairs in
+  first-occurrence order and REDUCE merges MAP partial states with the
+  same per-group accumulation sequence as the row cores, so both halves
+  stay vectorized without changing a single output bit.
 
 The engine seam is unchanged: :func:`execute_columnar` has the same
 signature as ``execute_node`` and maintains the same ``ExecContext``
@@ -49,9 +51,10 @@ from repro.exec.aggregates import AggregateEvaluator
 from repro.exec.fragments import PhysReceiver
 from repro.exec.operators import (
     ExecContext,
+    adapter_scan,
     apply_offset_fetch,
-    hash_aggregate_rows,
-    sort_aggregate_rows,
+    charge_adapter_scan,
+    compiled_pushdown,
     sort_rows,
 )
 from repro.exec.physical import (
@@ -979,6 +982,24 @@ def _exec_table_scan(
     node: PhysTableScan, site: int, ctx: ExecContext
 ) -> ColumnBatch:
     data = ctx.store.table(node.table)
+    adapter = data.adapter
+    if adapter is not None and (
+        adapter.name != "native" or compiled_pushdown(node) is not None
+    ):
+        # Adapter-backed (or pushed) scans go through the shared adapter
+        # seam so charges, scan counters and pushdown metrics match the
+        # row backend exactly — and are never cached: every execution
+        # must re-read the source (remote request counters, zone-map
+        # pruning stats) just like the row path does.
+        partitions = list(ctx.partitions_for(data, site))
+        scanned, rows = adapter_scan(node, data, partitions)
+        charge_adapter_scan(
+            node, site, ctx, data, scanned, len(rows), len(partitions)
+        )
+        kinds = _table_plan(data)
+        if node.pushed_project is not None:
+            kinds = [kinds[i] for i in node.pushed_project]
+        return from_rows(rows, len(node.fields), kinds)
     partitions = tuple(ctx.partitions_for(data, site))
     # Stored rows are immutable after load, so the concatenated batch for
     # one site's partition set is cached too (keyed by the partition set:
@@ -1433,6 +1454,32 @@ def _group_minmax(
     return out
 
 
+def _distinct_keep(gids: np.ndarray, col: Column) -> np.ndarray:
+    """Indices of first-occurrence distinct ``(group, value)`` pairs.
+
+    Reproduces the row accumulator's ``_seen`` set: within each group
+    only the first row carrying each value survives, and the surviving
+    indices stay in row order so float sums accumulate in the identical
+    sequence.  ``col`` must already be the NULL-free argument subset.
+    """
+    n = len(gids)
+    if n == 0:
+        return np.empty(0, np.int64)
+    if col.kind == "O":
+        seen = set()
+        keep: List[int] = []
+        for i, (g, v) in enumerate(zip(gids.tolist(), col.to_list())):
+            if (g, v) not in seen:
+                seen.add((g, v))
+                keep.append(i)
+        return np.asarray(keep, dtype=np.int64)
+    _, inv = np.unique(col.values, return_inverse=True)
+    inv = inv.astype(np.int64, copy=False)
+    pair = gids * (int(inv.max(initial=0)) + 1) + inv
+    _, first = np.unique(pair, return_index=True)
+    return np.sort(first)
+
+
 def _agg_columns(
     node, batch: ColumnBatch, group_ids: np.ndarray, n_groups: int
 ) -> List[Column]:
@@ -1440,27 +1487,42 @@ def _agg_columns(
 
     Float sums use ``np.bincount`` with weights, which accumulates in
     row order — the identical sequence of float additions as the row
-    accumulator, so SUM/AVG are bit-for-bit equal.
+    accumulator, so SUM/AVG are bit-for-bit equal.  DISTINCT calls
+    first reduce the argument to first-occurrence ``(group, value)``
+    pairs and then aggregate that subset the ordinary way.
     """
     is_map = node.phase is AggPhase.MAP
     columns: List[Column] = []
     for call in node.agg_calls:
         func = call.func
+        if is_map and call.distinct:
+            raise ExecutionError("distinct aggregates cannot be split")
         if call.arg is None:  # COUNT(*)
             counts = np.bincount(group_ids, minlength=n_groups)
+            if call.distinct:
+                # The row accumulator dedupes the ``True`` sentinel.
+                counts = np.minimum(counts, 1)
             values = [int(c) for c in counts.tolist()]
             columns.append(column_from_values(values, "i"))
             continue
         arg = eval_expr(call.arg, batch)
         valid = ~arg.null_mask()
         gids = group_ids[valid]
+        if call.distinct and func is not AggFunc.MIN and func is not AggFunc.MAX:
+            # MIN/MAX are dedup-invariant; COUNT/SUM/AVG are not.
+            sub = arg.take(np.flatnonzero(valid))
+            keep = _distinct_keep(gids, sub)
+            gids = gids[keep]
+            arg_values = sub.values[keep]
+        else:
+            arg_values = arg.values[valid]
         if func is AggFunc.COUNT:
             counts = np.bincount(gids, minlength=n_groups)
             columns.append(column_from_values(
                 [int(c) for c in counts.tolist()], "i"
             ))
         elif func is AggFunc.SUM or func is AggFunc.AVG:
-            weights = np.asarray(arg.values[valid], dtype=np.float64)
+            weights = np.asarray(arg_values, dtype=np.float64)
             sums = np.bincount(gids, weights=weights, minlength=n_groups)
             counts = np.bincount(gids, minlength=n_groups)
             if is_map:
@@ -1487,6 +1549,66 @@ def _agg_columns(
     return columns
 
 
+def _reduce_columns(
+    node, batch: ColumnBatch, group_ids: np.ndarray, n_groups: int
+) -> List[Column]:
+    """REDUCE phase: merge the MAP partial states found after the keys.
+
+    Column ``len(keys) + i`` holds call ``i``'s partials — COUNT an int,
+    SUM/AVG a ``(sum, count)`` pair, MIN/MAX a value-or-None.  Per-group
+    merges proceed in batch row order, the same sequence the row core's
+    ``merge_row`` loop follows, so float sums stay bit-for-bit equal.
+    """
+    offset = len(node.group_keys)
+    columns: List[Column] = []
+    for index, call in enumerate(node.agg_calls):
+        func = call.func
+        col = batch.column(offset + index)
+        n = len(col)
+        if func is AggFunc.COUNT:
+            acc = np.zeros(n_groups, dtype=np.int64)
+            if col.kind in ("i", "b"):
+                np.add.at(acc, group_ids, col.values.astype(np.int64, copy=False))
+            else:
+                for g, v in zip(group_ids.tolist(), col.to_list()):
+                    acc[g] += v
+            columns.append(column_from_values(
+                [int(v) for v in acc.tolist()], "i"
+            ))
+        elif func is AggFunc.SUM or func is AggFunc.AVG:
+            partials = col.to_list()
+            comp_sum = np.fromiter(
+                (p[0] if p is not None else 0.0 for p in partials),
+                np.float64,
+                count=n,
+            )
+            comp_count = np.fromiter(
+                (p[1] if p is not None else 0 for p in partials),
+                np.int64,
+                count=n,
+            )
+            sums = np.bincount(group_ids, weights=comp_sum, minlength=n_groups)
+            counts = np.bincount(
+                group_ids, weights=comp_count, minlength=n_groups
+            ).astype(np.int64)
+            if func is AggFunc.SUM:
+                values = [
+                    float(s) if c else None
+                    for s, c in zip(sums.tolist(), counts.tolist())
+                ]
+            else:
+                values = [
+                    float(s) / int(c) if c else None
+                    for s, c in zip(sums.tolist(), counts.tolist())
+                ]
+            columns.append(column_from_values(values))
+        else:  # MIN / MAX over value-or-None partials
+            columns.append(column_from_values(_group_minmax(
+                group_ids, n_groups, col, func is AggFunc.MIN
+            )))
+    return columns
+
+
 def _aggregate_batch(node, batch: ColumnBatch, sorted_runs: bool) -> ColumnBatch:
     keys = node.group_keys
     if sorted_runs:
@@ -1501,30 +1623,18 @@ def _aggregate_batch(node, batch: ColumnBatch, sorted_runs: bool) -> ColumnBatch
             return from_rows([row], node.width)
         return from_rows([], node.width)
     columns = [batch.column(k).take(rep_idx) for k in keys]
-    columns.extend(_agg_columns(node, batch, group_ids, n_groups))
+    if node.phase is AggPhase.REDUCE:
+        columns.extend(_reduce_columns(node, batch, group_ids, n_groups))
+    else:
+        columns.extend(_agg_columns(node, batch, group_ids, n_groups))
     return ColumnBatch(columns, n_groups)
-
-
-def _rows_fallback_aggregate(node, batch: ColumnBatch, is_hash: bool) -> ColumnBatch:
-    rows = batch.to_rows()
-    out = (
-        hash_aggregate_rows(node, rows)
-        if is_hash
-        else sort_aggregate_rows(node, rows)
-    )
-    return from_rows(out, node.width)
 
 
 def _exec_hash_aggregate(
     node: PhysHashAggregate, site: int, ctx: ExecContext
 ) -> ColumnBatch:
     batch = _execute(node.input, site, ctx)
-    if node.phase is AggPhase.REDUCE or any(c.distinct for c in node.agg_calls):
-        # Partial-state merging and DISTINCT sets are row-shaped state;
-        # the shared row cores stay the single source of truth.
-        out = _rows_fallback_aggregate(node, batch, is_hash=True)
-    else:
-        out = _aggregate_batch(node, batch, sorted_runs=False)
+    out = _aggregate_batch(node, batch, sorted_runs=False)
     ctx.note_memory(site, out.length * node.width * AFS)
     ctx.charge(node, site, batch.length * (RPTC + HAC) + out.length * RPTC)
     return out
@@ -1536,10 +1646,7 @@ def _exec_sort_aggregate(
     batch = _execute(node.input, site, ctx)
     if node.phase is AggPhase.REDUCE:
         raise ExecutionError("sort aggregate does not implement REDUCE")
-    if any(c.distinct for c in node.agg_calls):
-        out = _rows_fallback_aggregate(node, batch, is_hash=False)
-    else:
-        out = _aggregate_batch(node, batch, sorted_runs=True)
+    out = _aggregate_batch(node, batch, sorted_runs=True)
     ctx.charge(node, site, batch.length * (RPTC + RCC) + out.length * RPTC)
     return out
 

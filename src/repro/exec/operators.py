@@ -44,8 +44,10 @@ from repro.exec.physical import (
     PhysTableScan,
     PhysValues,
 )
+from repro.obs.metrics import get_registry
 from repro.rel.expr import compile_expr
 from repro.rel.logical import JoinType
+from repro.storage.adapters import compile_pushdown, scan_charge
 from repro.storage.store import DataStore
 
 Row = Tuple
@@ -179,12 +181,83 @@ def execute_node(node: PhysNode, site: int, ctx: ExecContext) -> Rows:
 # -- scans --------------------------------------------------------------------
 
 
+_PUSHDOWN_UNSET = object()
+
+
+def compiled_pushdown(node: PhysTableScan):
+    """Cached :func:`compile_pushdown` for a scan node (None when bare)."""
+    cached = node.__dict__.get("_pushed_scan", _PUSHDOWN_UNSET)
+    if cached is _PUSHDOWN_UNSET:
+        cached = compile_pushdown(node)
+        node.__dict__["_pushed_scan"] = cached
+    return cached
+
+
+def adapter_scan(
+    node: PhysTableScan, data, partitions: Sequence[int]
+) -> Tuple[int, Rows]:
+    """Scan ``partitions`` through the table's adapter, honouring pushdown.
+
+    Returns ``(scanned, rows)`` where ``scanned`` is the source-side row
+    count *before* any pushed filter/project/fetch applied — the number
+    the work-unit charge and the ``adapter.rows_scanned`` metric bill for.
+    Shared by the row and columnar backends so their simulated times and
+    scan traces stay bit-identical.
+    """
+    pushed = compiled_pushdown(node)
+    adapter = data.adapter
+    scanned_total = 0
+    rows: Rows = []
+    for partition in partitions:
+        scanned, out = adapter.scan_partition(data, partition, pushed)
+        scanned_total += scanned
+        rows.extend(out)
+    return scanned_total, rows
+
+
+def charge_adapter_scan(
+    node: PhysTableScan,
+    site: int,
+    ctx: ExecContext,
+    data,
+    scanned: int,
+    produced: int,
+    partitions: int,
+) -> None:
+    """Bill an adapter-backed scan and record its pushdown evidence."""
+    adapter = data.adapter
+    ctx.record_input(node, site, scanned)
+    ctx.charge(
+        node,
+        site,
+        scan_charge(adapter.costs, scanned, produced, max(1, partitions)),
+    )
+    registry = get_registry()
+    registry.inc(
+        "adapter.rows_scanned", scanned, adapter=adapter.name, table=node.table
+    )
+    registry.inc(
+        "adapter.rows_out", produced, adapter=adapter.name, table=node.table
+    )
+
+
 def _exec_table_scan(node: PhysTableScan, site: int, ctx: ExecContext) -> Rows:
     data = ctx.store.table(node.table)
-    rows: Rows = []
-    for partition in ctx.partitions_for(data, site):
-        rows.extend(data.partitions[partition])
-    ctx.charge(node, site, len(rows) * RPTC)
+    adapter = data.adapter
+    if (
+        adapter is None
+        or (adapter.name == "native" and compiled_pushdown(node) is None)
+    ):
+        # The historical fast path: native tables with nothing pushed are
+        # read straight out of the partition lists at RPTC per row.
+        rows: Rows = []
+        for partition in ctx.partitions_for(data, site):
+            rows.extend(data.partitions[partition])
+        ctx.charge(node, site, len(rows) * RPTC)
+        return rows
+    partitions = ctx.partitions_for(data, site)
+    scanned, rows = adapter_scan(node, data, partitions)
+    charge_adapter_scan(node, site, ctx, data, scanned, len(rows), len(partitions))
     return rows
 
 

@@ -61,7 +61,14 @@ class PhysNode(RelNode):
 
 
 class PhysTableScan(PhysNode):
-    """Full scan of a base table's local partitions."""
+    """Full scan of a base table's local partitions.
+
+    For adapter-backed tables the scan may carry pushed-down work (see
+    :class:`repro.rel.logical.LogicalTableScan`): a predicate over the
+    original full-width row, a projection to a subset of original column
+    positions, and/or a per-partition row-prefix cap.  Absent pushdown the
+    digest and EXPLAIN output are byte-identical to the historical form.
+    """
 
     def __init__(
         self,
@@ -70,27 +77,54 @@ class PhysTableScan(PhysNode):
         fields: Sequence[str],
         distribution: Distribution,
         partition_site_count: int,
+        pushed_filter: Optional[Expr] = None,
+        pushed_project: Optional[Sequence[int]] = None,
+        pushed_fetch: Optional[int] = None,
     ):
         super().__init__((), fields, distribution)
         self.table = table
         self.alias = alias
         self.partition_site_count = partition_site_count
+        self.pushed_filter = pushed_filter
+        self.pushed_project = (
+            tuple(pushed_project) if pushed_project is not None else None
+        )
+        self.pushed_fetch = pushed_fetch
 
     def copy(self, inputs: Sequence[RelNode]) -> "PhysTableScan":
         clone = PhysTableScan(
             self.table, self.alias, self.fields, self.distribution,
             self.partition_site_count,
+            pushed_filter=self.pushed_filter,
+            pushed_project=self.pushed_project,
+            pushed_fetch=self.pushed_fetch,
         )
         clone.rows_est, clone.self_cost = self.rows_est, self.self_cost
         return clone
 
+    def pushdown_digest(self) -> str:
+        extras = []
+        if self.pushed_filter is not None:
+            extras.append(f"filter={self.pushed_filter.digest()}")
+        if self.pushed_project is not None:
+            extras.append(f"project={list(self.pushed_project)}")
+        if self.pushed_fetch is not None:
+            extras.append(f"fetch={self.pushed_fetch}")
+        if not extras:
+            return ""
+        return ", pushed[" + ", ".join(extras) + "]"
+
     def digest(self) -> str:
-        return f"PScan({self.table}/{self.alias})[{self._traits()}]"
+        return (
+            f"PScan({self.table}/{self.alias}{self.pushdown_digest()})"
+            f"[{self._traits()}]"
+        )
 
     def _explain_self(self) -> str:
         return (
             f"PhysTableScan[{self._traits()}](table={self.table}, "
-            f"alias={self.alias}, rows~{self.rows_est:.0f})"
+            f"alias={self.alias}{self.pushdown_digest()}, "
+            f"rows~{self.rows_est:.0f})"
         )
 
 

@@ -223,18 +223,50 @@ class PhysicalPlanner:
         schema = data.schema
         if schema.replicated:
             native = Distribution.broadcast()
+        elif node.pushed_project is not None:
+            # The scan emits a column subset: remap the affinity-hash key
+            # to its output position, or degrade if it was projected away.
+            from repro.exec.physical import DEGRADED_HASH_KEY
+
+            if schema.affinity_index in node.pushed_project:
+                native = Distribution.hash(
+                    (node.pushed_project.index(schema.affinity_index),)
+                )
+            else:
+                native = Distribution.hash((DEGRADED_HASH_KEY,))
         else:
             native = Distribution.hash((schema.affinity_index,))
         sites = data.partition_site_count()
         rows = self._est.row_count(node)
         candidates: List[PhysNode] = []
 
-        table_scan = PhysTableScan(node.table, node.alias, node.fields, native, sites)
+        table_scan = PhysTableScan(
+            node.table, node.alias, node.fields, native, sites,
+            pushed_filter=node.pushed_filter,
+            pushed_project=node.pushed_project,
+            pushed_fetch=node.pushed_fetch,
+        )
         table_scan.rows_est = rows
-        table_scan.self_cost = self._cost.scan(rows, len(node.fields), sites)
+        adapter = data.adapter
+        if adapter is not None and adapter.name != "native":
+            # Adapter sources read the full base relation (CPU/IO) but ship
+            # only what survives pushdown (network).
+            table_scan.self_cost = self._cost.scan(
+                float(data.row_count), len(node.fields), sites,
+                adapter_costs=adapter.costs, out_rows=rows,
+            )
+        else:
+            table_scan.self_cost = self._cost.scan(rows, len(node.fields), sites)
         candidates.append(self._enforce(table_scan, req))
 
-        if req.collation.is_sorted:
+        has_pushdown = (
+            node.pushed_filter is not None
+            or node.pushed_project is not None
+            or node.pushed_fetch is not None
+        )
+        # Engine-side index scans read the in-memory mirror and would not
+        # honour adapter-pushed work, so they only compete on plain scans.
+        if req.collation.is_sorted and not has_pushdown:
             index_name = self._matching_index(schema, req.collation)
             if index_name is not None:
                 index_def = schema.indexes[index_name]
@@ -294,6 +326,14 @@ class PhysicalPlanner:
         index scan plus a residual filter (index range pushdown)."""
         scan = node.input
         if not isinstance(scan, LogicalTableScan):
+            return None
+        if (
+            scan.pushed_filter is not None
+            or scan.pushed_project is not None
+            or scan.pushed_fetch is not None
+        ):
+            # A pushed scan's output no longer matches the base schema's
+            # column positions; index ranges only apply to plain scans.
             return None
         data = self._store.table(scan.table)
         schema = data.schema

@@ -41,6 +41,10 @@ from repro.cost.model import CostModel
 from repro.exec.physical import PhysNode
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
+from repro.planner.adapter_rules import (
+    adapter_pushdown_rules,
+    has_federated_scan,
+)
 from repro.planner.budget import PlanningBudget
 from repro.planner.hep import HepPlanner
 from repro.planner.physical import PhysicalPlanner, Requirement
@@ -109,6 +113,15 @@ class QueryPlanner:
                 self.config.join_condition_simplification,
             ):
                 tree = HepPlanner(rules, budget).optimize(tree)
+            # Adapter pushdown (Hep pass 4): only when a scan actually
+            # reads through a non-native adapter, so native-only queries
+            # keep their historical budget charges and rule traces.
+            if self.config.adapter_pushdown and has_federated_scan(
+                self.store, tree
+            ):
+                tree = HepPlanner(
+                    adapter_pushdown_rules(self.store), budget
+                ).optimize(tree)
             tracer.advance(budget.spent)
             span.attrs["budget_spent"] = max(0, budget.spent)
         # --- Stage 2: cost-based optimisation. ---

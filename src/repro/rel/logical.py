@@ -72,11 +72,41 @@ class RelNode:
 
 
 class LogicalTableScan(RelNode):
-    """Scan of a base table; ``alias`` disambiguates self-joins."""
+    """Scan of a base table; ``alias`` disambiguates self-joins.
 
-    def __init__(self, table: str, alias: str, column_names: Sequence[str]):
+    Storage adapters that advertise pushdown capabilities can absorb work
+    into the scan itself (the Calcite adapter convention — Bodo's
+    ``SnowflakeFilter``/``SnowflakeSort`` pattern):
+
+    * ``pushed_filter`` — a predicate over the table's *original* full-width
+      row, applied by the adapter before rows leave the source;
+    * ``pushed_project`` — original column positions the adapter returns
+      (``fields`` then lists exactly that subset, keeping the original
+      ``alias.column`` names so statistics tracing still resolves);
+    * ``pushed_fetch`` — a per-partition row-prefix cap (a LIMIT absorbed
+      at the source; the engine-side Sort/Limit is always retained, so the
+      cap is a sound over-approximation).
+
+    All three default to "absent", and digests/EXPLAIN only mention them
+    when set, so un-pushed plans stay byte-identical to historical ones.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        column_names: Sequence[str],
+        pushed_filter: Optional[Expr] = None,
+        pushed_project: Optional[Sequence[int]] = None,
+        pushed_fetch: Optional[int] = None,
+    ):
         self.table = table.lower()
         self.alias = alias.lower()
+        self.pushed_filter = pushed_filter
+        self.pushed_project = (
+            tuple(pushed_project) if pushed_project is not None else None
+        )
+        self.pushed_fetch = pushed_fetch
         fields = [f"{self.alias}.{c.lower()}" for c in column_names]
         super().__init__(inputs=(), fields=fields)
 
@@ -84,13 +114,34 @@ class LogicalTableScan(RelNode):
         if inputs:
             raise ValidationError("scan takes no inputs")
         names = [f.split(".", 1)[1] for f in self.fields]
-        return LogicalTableScan(self.table, self.alias, names)
+        return LogicalTableScan(
+            self.table, self.alias, names,
+            pushed_filter=self.pushed_filter,
+            pushed_project=self.pushed_project,
+            pushed_fetch=self.pushed_fetch,
+        )
+
+    def pushdown_digest(self) -> str:
+        """Shared digest suffix describing pushed work ('' when none)."""
+        extras = []
+        if self.pushed_filter is not None:
+            extras.append(f"filter={self.pushed_filter.digest()}")
+        if self.pushed_project is not None:
+            extras.append(f"project={list(self.pushed_project)}")
+        if self.pushed_fetch is not None:
+            extras.append(f"fetch={self.pushed_fetch}")
+        if not extras:
+            return ""
+        return ", pushed[" + ", ".join(extras) + "]"
 
     def digest(self) -> str:
-        return f"Scan({self.table} as {self.alias})"
+        return f"Scan({self.table} as {self.alias}{self.pushdown_digest()})"
 
     def _explain_self(self) -> str:
-        return f"LogicalTableScan(table={self.table}, alias={self.alias})"
+        return (
+            f"LogicalTableScan(table={self.table}, alias={self.alias}"
+            f"{self.pushdown_digest()})"
+        )
 
 
 class LogicalFilter(RelNode):

@@ -218,3 +218,20 @@ class CreateView:
 
     name: str
     select: Select
+
+
+@dataclass
+class CreateTable:
+    """``CREATE TABLE name (col TYPE, ..., PRIMARY KEY (...)) [USING adapter]``.
+
+    The ``USING`` clause routes the table to a registered storage adapter
+    (``native``, ``columnfile``, ``remote``); omitted means the native
+    in-memory row store.  ``primary_key`` is empty when the statement has
+    no PRIMARY KEY clause — the first column becomes the key (and thereby
+    the affinity key), matching Ignite's default.
+    """
+
+    name: str
+    columns: List[Tuple[str, str]]
+    primary_key: List[str] = field(default_factory=list)
+    adapter: Optional[str] = None

@@ -117,12 +117,69 @@ class _Parser:
                 if self._current.type is not TokenType.EOF:
                     raise self._error("trailing tokens after statement")
                 return ast.CreateView(name=name.lower(), select=select)
+            if (
+                self._current.type is TokenType.IDENT
+                and self._current.value == "table"
+            ):
+                return self._parse_create_table()
             raise self._error("only SELECT statements are supported")
         select = self._parse_select()
         self._accept_symbol(";")
         if self._current.type is not TokenType.EOF:
             raise self._error("trailing tokens after statement")
         return select
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        # ``TABLE``, ``USING``, ``PRIMARY`` and ``KEY`` (and the type
+        # names) are deliberately not reserved words in this dialect —
+        # they are matched by identifier value, so existing queries using
+        # them as column names keep parsing.  ``DATE`` is the one type
+        # name that lexes as a keyword.
+        self._advance()  # TABLE
+        name = self._expect_ident()
+        self._expect_symbol("(")
+        columns: List[Tuple[str, str]] = []
+        primary_key: List[str] = []
+        while True:
+            token = self._current
+            if (
+                token.type is TokenType.IDENT
+                and token.value == "primary"
+                and self._peek(1).type is TokenType.IDENT
+                and self._peek(1).value == "key"
+            ):
+                self._advance()
+                self._advance()
+                self._expect_symbol("(")
+                primary_key.append(self._expect_ident())
+                while self._accept_symbol(","):
+                    primary_key.append(self._expect_ident())
+                self._expect_symbol(")")
+            else:
+                column = self._expect_ident()
+                type_token = self._current
+                if type_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                    raise self._error("expected column type")
+                self._advance()
+                columns.append((column, str(type_token.value).lower()))
+            if not self._accept_symbol(","):
+                break
+        self._expect_symbol(")")
+        adapter: Optional[str] = None
+        if self._current.type is TokenType.IDENT and self._current.value == "using":
+            self._advance()
+            adapter = self._expect_ident()
+        self._accept_symbol(";")
+        if self._current.type is not TokenType.EOF:
+            raise self._error("trailing tokens after statement")
+        if not columns:
+            raise self._error("CREATE TABLE requires at least one column")
+        return ast.CreateTable(
+            name=name.lower(),
+            columns=columns,
+            primary_key=primary_key,
+            adapter=adapter,
+        )
 
     def _parse_select(self) -> ast.Select:
         self._expect_keyword("select")

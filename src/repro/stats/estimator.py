@@ -150,7 +150,21 @@ class Estimator:
 
     def _row_count(self, node: RelNode) -> float:
         if isinstance(node, LogicalTableScan):
-            return float(self._store.row_count(node.table))
+            rows = float(self._store.row_count(node.table))
+            if node.pushed_filter is not None:
+                # A pushed predicate references the table's original
+                # full-width row; estimate it against a plain scan so
+                # column tracing sees base positions.
+                rows *= self.selectivity(
+                    node.pushed_filter, self._plain_scan(node)
+                )
+            if node.pushed_fetch is not None:
+                data = self._store.table(node.table)
+                rows = min(
+                    rows,
+                    float(node.pushed_fetch * max(1, data.partition_count)),
+                )
+            return rows
         if isinstance(node, LogicalValues):
             return float(len(node.rows))
         if isinstance(node, LogicalFilter):
@@ -176,6 +190,11 @@ class Estimator:
         if node.inputs:
             return self.row_count(node.inputs[0])
         return 1.0
+
+    def _plain_scan(self, node: LogicalTableScan) -> LogicalTableScan:
+        """A pushdown-free full-width scan of the same table/alias."""
+        schema = self._store.table(node.table).schema
+        return LogicalTableScan(node.table, node.alias, schema.column_names)
 
     def _aggregate_rows(self, node: LogicalAggregate) -> float:
         input_rows = self.row_count(node.input)

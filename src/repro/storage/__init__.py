@@ -1,12 +1,26 @@
-"""In-memory partitioned storage: tables, partitions, indexes."""
+"""Partitioned storage behind pluggable adapters: tables, partitions, indexes."""
 
+from repro.storage.adapters import (
+    AdapterCosts,
+    StorageAdapter,
+    adapter_names,
+    create_adapter,
+    register_adapter,
+    reset_adapter_state,
+)
 from repro.storage.store import DataStore
 from repro.storage.table import PartitionIndex, Row, TableData, affinity_partition
 
 __all__ = [
+    "AdapterCosts",
     "DataStore",
     "PartitionIndex",
     "Row",
+    "StorageAdapter",
     "TableData",
+    "adapter_names",
     "affinity_partition",
+    "create_adapter",
+    "register_adapter",
+    "reset_adapter_state",
 ]

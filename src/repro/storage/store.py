@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.catalog.schema import Catalog, TableSchema
 from repro.common.errors import StorageError
+from repro.storage.adapters import create_adapter
 from repro.storage.table import Row, TableData
 
 
@@ -27,16 +28,29 @@ class DataStore:
         self._data: Dict[str, TableData] = {}
 
     def create_table(
-        self, schema: TableSchema, rows: Sequence[Row]
+        self,
+        schema: TableSchema,
+        rows: Sequence[Row],
+        adapter: Optional[str] = None,
     ) -> TableData:
-        """Register a schema and load its rows (DDL + bulk load)."""
+        """Register a schema and load its rows (DDL + bulk load).
+
+        ``adapter`` overrides the schema's ``USING`` clause; each table
+        gets its own adapter instance, which also decides partition
+        placement and materialises any adapter-side state (column files,
+        remote handles) via ``attach``.
+        """
+        adapter_name = (adapter or getattr(schema, "adapter", "native")).lower()
+        schema.adapter = adapter_name
         self.catalog.register(schema)
         data = TableData(
             schema,
             rows,
             partition_count=self.partitions_per_table,
             site_count=self.site_count,
+            adapter=create_adapter(adapter_name),
         )
+        data.adapter.attach(data)
         self._data[schema.name] = data
         return data
 
@@ -44,11 +58,16 @@ class DataStore:
         """Remove a table's schema and data (DROP TABLE).
 
         Used by mid-query re-optimization to clean up the ``__mq_*`` temp
-        tables that hold materialized intermediates.
+        tables that hold materialized intermediates.  Detaches the
+        adapter first so adapter-side state (column files, remote scan
+        counters) cannot leak into a later same-named table.
         """
         key = name.lower()
         if key not in self._data:
             raise StorageError(f"no data for table {name}")
+        data = self._data[key]
+        if data.adapter is not None:
+            data.adapter.detach(data)
         self.catalog.unregister(key)
         del self._data[key]
 

@@ -24,15 +24,50 @@ from repro.common.ordering import NullsLast, ordering_key
 
 Row = Tuple
 
+# Keyed seed for string affinity hashing.  Distinct from the sketch engine's
+# DEFAULT_SEED so affinity placement and sketch estimates stay uncorrelated.
+AFFINITY_SEED = 0xAF1717
+
+# Lazily bound to repro.stats.sketches.value_hash: repro.stats imports the
+# estimator, which imports the store, which imports this module, so a
+# top-level import would be circular.
+_value_hash = None
+
+
+def _stable_hash(value: object) -> int:
+    """A ``PYTHONHASHSEED``-independent stand-in for ``hash``.
+
+    Ints (and int-valued floats/bools) keep Python's identity hash, so the
+    dense TPC-H surrogate keys spread over partitions exactly as before.
+    Strings — whose builtin hash is salted per process — route through the
+    sketch engine's keyed blake2b hash instead.  Tuples (multi-column
+    affinity routing) rehash each unstable component first; Python's tuple
+    hash combiner itself is unsalted, so an all-int tuple keeps its builtin
+    hash bit-for-bit.
+    """
+    global _value_hash
+    if isinstance(value, str):
+        if _value_hash is None:
+            from repro.stats.sketches import value_hash
+
+            _value_hash = value_hash
+        return _value_hash(value, AFFINITY_SEED)
+    if isinstance(value, tuple):
+        return hash(tuple(
+            _stable_hash(v) if isinstance(v, (str, tuple)) else v
+            for v in value
+        ))
+    return hash(value)
+
 
 def affinity_partition(value: object, partition_count: int) -> int:
     """Map an affinity-key value to a partition.
 
-    Uses Python's stable ``hash`` for ints/strings; ints hash to themselves,
-    which spreads TPC-H's dense surrogate keys perfectly evenly, matching
-    Ignite's rendezvous affinity well enough for load-balance purposes.
+    Deterministic across interpreter runs regardless of ``PYTHONHASHSEED``:
+    seeded traces and fault schedules replay against identical placements
+    even for string affinity keys (see :func:`_stable_hash`).
     """
-    return hash(value) % partition_count
+    return _stable_hash(value) % partition_count
 
 
 class PartitionIndex:
@@ -111,11 +146,15 @@ class TableData:
         rows: Sequence[Row],
         partition_count: int,
         site_count: int,
+        adapter: Optional[object] = None,
     ):
         if partition_count < 1 or site_count < 1:
             raise StorageError("partition_count and site_count must be >= 1")
         self.schema = schema
         self.site_count = site_count
+        # The storage adapter backing this table.  ``None`` until the store
+        # attaches one; scans treat that the same as the native adapter.
+        self.adapter = adapter
         for row in rows:
             if len(row) != schema.width:
                 raise StorageError(
@@ -134,10 +173,17 @@ class TableData:
             for row in rows:
                 part = affinity_partition(row[key_pos], partition_count)
                 self.partitions[part].append(row)
-            # Round-robin partition placement over sites.
-            self.partition_sites = [
-                (p % site_count,) for p in range(partition_count)
-            ]
+            if adapter is not None:
+                # Adapters may override placement (a remote source keeps
+                # every partition behind one gateway site, for example).
+                self.partition_sites = adapter.partition_sites(
+                    partition_count, site_count
+                )
+            else:
+                # Round-robin partition placement over sites.
+                self.partition_sites = [
+                    (p % site_count,) for p in range(partition_count)
+                ]
         self.stats: TableStats = compute_table_stats(rows, schema.column_names)
         # index name -> per-partition PartitionIndex
         self.indexes: Dict[str, List[PartitionIndex]] = {}

@@ -176,6 +176,18 @@ class ReferenceExecutor:
         rows: Rows = []
         for partition in data.partitions:
             rows.extend(partition)
+        # Pushed-down work travels inside the scan node.  The oracle
+        # honours the semantic parts — filter (over the original row) and
+        # projection — but deliberately ignores ``pushed_fetch``: it is a
+        # per-partition over-approximation whose exact cut the retained
+        # engine-side Sort/Limit applies, which the oracle evaluates from
+        # the full row set.
+        if node.pushed_filter is not None:
+            predicate = compile_expr(node.pushed_filter)
+            rows = [row for row in rows if predicate(row)]
+        if node.pushed_project is not None:
+            positions = node.pushed_project
+            rows = [tuple(row[i] for i in positions) for row in rows]
         return rows
 
     def _join(self, node: LogicalJoin) -> Rows:

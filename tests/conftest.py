@@ -26,6 +26,7 @@ from repro.exec.engine import ExecutionEngine  # noqa: E402
 from repro.obs.metrics import reset_registry  # noqa: E402
 from repro.serve import reset_serve_state  # noqa: E402
 from repro.stats import reset_sketch_state  # noqa: E402
+from repro.storage.adapters import reset_adapter_state  # noqa: E402
 from repro.verify.invariants import (  # noqa: E402
     PlanValidator,
     check_execution_result,
@@ -134,6 +135,20 @@ def _reset_sketch_state():
     reset_sketch_state()
     yield
     reset_sketch_state()
+
+
+@pytest.fixture(autouse=True)
+def _reset_adapter_state():
+    """Each test starts with every storage adapter's caches empty.
+
+    Adapter instances live per-table, but module-scoped clusters outlive
+    a single test; wiping column-file row groups, remote request
+    counters and any other adapter-side state keeps one test's scans
+    from warming (or skewing the metrics of) another's.
+    """
+    reset_adapter_state()
+    yield
+    reset_adapter_state()
 
 
 @pytest.fixture(autouse=True)

@@ -252,4 +252,40 @@ def _clone_schema(schema: TableSchema) -> TableSchema:
         schema.primary_key,
         affinity_key=schema.affinity_key,
         replicated=schema.replicated,
+        adapter=schema.adapter,
     )
+
+
+def make_federated_store(
+    sites: int = 4,
+    partitions: int = 8,
+    seed: int = 5,
+    **data_knobs,
+) -> DataStore:
+    """The company data set spread across all three storage adapters.
+
+    ``emp`` stays on the native row store, ``sales`` moves to the
+    columnar file adapter and ``dept`` (replicated) to the simulated
+    remote catalog — so any emp/sales/dept join is a cross-source
+    federated query.  Row contents are byte-identical to
+    :func:`make_company_store` with the same knobs.
+    """
+    source = make_company_store(
+        sites=sites, partitions=partitions, seed=seed, **data_knobs
+    )
+    store = DataStore(site_count=sites, partitions_per_table=partitions)
+    adapters = {"emp": "native", "sales": "columnfile", "dept": "remote"}
+    for name in source.table_names():
+        data = source.table(name)
+        rows = [row for part in data.partitions for row in part]
+        schema = TableSchema(
+            data.schema.name,
+            data.schema.columns,
+            data.schema.primary_key,
+            affinity_key=data.schema.affinity_key,
+            replicated=data.schema.replicated,
+            adapter=adapters[name],
+        )
+        store.create_table(schema, rows)
+    store.create_index("emp", "emp_pk", ["emp_id"])
+    return store

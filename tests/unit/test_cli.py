@@ -92,6 +92,16 @@ class TestArgumentParsing:
         assert args.out is None
         assert args.smoke is False
 
+    def test_fedbench_defaults(self):
+        args = build_parser().parse_args(["fedbench"])
+        assert args.systems == "IC,IC+,IC+M"
+        assert args.queries is None
+        assert args.seed == 7
+        assert args.sf == (0.05,)
+        assert args.sites == (4,)
+        assert args.out is None
+        assert args.smoke is False
+
 
 class TestExecution:
     def test_query_command_prints_rows(self, capsys):
@@ -241,3 +251,34 @@ class TestServeCommand:
         for row in payload["queries"]:
             assert row["results_match"] is True
             assert row["oracle_match"] is True
+
+    def test_fedbench_smoke_gate(self, capsys, tmp_path):
+        """The fedbench gate: a tiny cross-source run whose artefact must
+        be differentially clean (every cell order-identical to the
+        reference executor across both backends), show pushdown absorbed
+        at the source, carry >= 1 plan-digest flip, and replay the chaos
+        cell row-correct — or `main` exits non-zero."""
+        import json
+
+        out_path = tmp_path / "fedbench.json"
+        main(["fedbench", "--smoke", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "fedbench smoke: artefact valid" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-fedbench/v1"
+        assert payload["adapters"] == {
+            "emp": "native", "sales": "columnfile", "dept": "remote",
+        }
+        assert any(f["flipped"] for f in payload["plan_flips"])
+        assert any(
+            p["rows_out"] < p["rows_scanned"] for p in payload["pushdown"]
+        )
+        for cell in payload["cells"]:
+            assert cell["rows_match"] is True
+        assert payload["chaos"]["rows_match"] is True
+
+    def test_fedbench_unknown_query_exits_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fedbench", "--queries", "FB99"])
+        assert excinfo.value.code == 64
+        assert "bad fedbench parameters" in capsys.readouterr().out

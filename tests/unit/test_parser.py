@@ -250,9 +250,29 @@ class TestUnsupported:
         with pytest.raises(UnsupportedSqlError):
             parse("create view v as select a from t")
 
-    def test_create_table_is_rejected(self):
+    def test_create_table_parses(self):
+        # CREATE TABLE became supported DDL with the storage-adapter work;
+        # it now parses into a CreateTable statement instead of erroring.
+        stmt = parse("create table t (a int)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.name == "t"
+        assert stmt.columns == [("a", "int")]
+        assert stmt.primary_key == []
+        assert stmt.adapter is None
+
+    def test_create_table_full_form(self):
+        stmt = parse(
+            "create table t (a int, b varchar, d date, "
+            "primary key (a, b)) using columnfile"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns == [("a", "int"), ("b", "varchar"), ("d", "date")]
+        assert stmt.primary_key == ["a", "b"]
+        assert stmt.adapter == "columnfile"
+
+    def test_create_table_requires_column_type(self):
         with pytest.raises(SqlSyntaxError):
-            parse("create table t (a int)")
+            parse("create table t (a)")
 
     def test_union_is_rejected(self):
         with pytest.raises(UnsupportedSqlError):
